@@ -1,0 +1,141 @@
+// Command hvcsim runs a single simulation: pick an organization, load one
+// or more named workloads, run a number of instructions per core, and
+// print the performance report with a translation-energy breakdown.
+//
+// Usage:
+//
+//	hvcsim -org hybrid-manyseg+sc -workloads gups,mcf -insns 500000 -cores 2
+//	hvcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hybridvc"
+	"hybridvc/internal/workload"
+)
+
+func main() {
+	org := flag.String("org", string(hybridvc.HybridManySegSC),
+		"memory system organization (see -list)")
+	wls := flag.String("workloads", "gups", "comma-separated workload names")
+	insns := flag.Uint64("insns", 200_000, "instructions per core")
+	cores := flag.Int("cores", 1, "hardware cores")
+	llc := flag.Int("llc", 0, "LLC size in bytes (0 = default 2 MiB)")
+	dtlb := flag.Int("dtlb", 1024, "delayed TLB entries (hybrid-dtlb / enigma)")
+	ic := flag.Int("ic", 32<<10, "index cache bytes (many-segment)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list organizations and workloads, then exit")
+	jsonOut := flag.Bool("json", false, "print the report as JSON")
+	compare := flag.Bool("compare", false, "run every native organization on the workloads and rank by cycles")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("organizations:")
+		for _, o := range hybridvc.Organizations() {
+			fmt.Printf("  %s\n", o)
+		}
+		fmt.Println("workloads:")
+		var names []string
+		for name := range workload.Specs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := workload.Specs[n]
+			fmt.Printf("  %-11s %4d regions, %5.1f MiB, %d proc(s)\n",
+				n, len(s.Regions), float64(s.TotalBytes())/(1<<20), max(1, s.Procs))
+		}
+		return
+	}
+
+	if *compare {
+		runComparison(*wls, *insns, *cores, *llc, *dtlb, *ic, *seed)
+		return
+	}
+
+	sys, err := hybridvc.New(hybridvc.Config{
+		Org:               hybridvc.Organization(*org),
+		Cores:             *cores,
+		LLCBytes:          *llc,
+		DelayedTLBEntries: *dtlb,
+		IndexCacheBytes:   *ic,
+		Seed:              *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcsim:", err)
+		os.Exit(1)
+	}
+	for _, name := range strings.Split(*wls, ",") {
+		if err := sys.LoadWorkload(strings.TrimSpace(name)); err != nil {
+			fmt.Fprintln(os.Stderr, "hvcsim:", err)
+			os.Exit(1)
+		}
+	}
+	report, err := sys.Run(*insns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		fmt.Println(report.JSON())
+		return
+	}
+	fmt.Println(report)
+	fmt.Printf("per-core IPC: ")
+	for i, ipc := range report.PerCoreIPC {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%.3f", ipc)
+	}
+	fmt.Println()
+	fmt.Println("\ntranslation energy breakdown:")
+	fmt.Print(sys.Mem.Energy().Breakdown())
+}
+
+// runComparison runs the workloads on every native organization and prints
+// a ranking. Virtualized organizations are skipped (different substrate);
+// OVC is skipped when more than one core is requested.
+func runComparison(wls string, insns uint64, cores, llc, dtlb, ic int, seed int64) {
+	type row struct {
+		org    hybridvc.Organization
+		report string
+		cycles uint64
+	}
+	var rows []row
+	for _, org := range hybridvc.Organizations() {
+		if org.Virtualized() || (org == hybridvc.OVC && cores != 1) {
+			continue
+		}
+		sys, err := hybridvc.New(hybridvc.Config{
+			Org: org, Cores: cores, LLCBytes: llc,
+			DelayedTLBEntries: dtlb, IndexCacheBytes: ic, Seed: seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvcsim:", err)
+			os.Exit(1)
+		}
+		for _, name := range strings.Split(wls, ",") {
+			if err := sys.LoadWorkload(strings.TrimSpace(name)); err != nil {
+				fmt.Fprintln(os.Stderr, "hvcsim:", err)
+				os.Exit(1)
+			}
+		}
+		rep, err := sys.Run(insns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvcsim:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row{org, rep.String(), rep.Cycles})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cycles < rows[j].cycles })
+	fmt.Printf("workloads %q, %d instructions/core, %d core(s) — fastest first:\n", wls, insns, cores)
+	for i, r := range rows {
+		fmt.Printf("%2d. %s\n", i+1, r.report)
+	}
+}

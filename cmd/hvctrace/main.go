@@ -1,0 +1,124 @@
+// Command hvctrace captures workload reference traces to the compact
+// binary format and inspects them — the Pin-style trace methodology of the
+// paper's Section III-C, made reusable.
+//
+// Usage:
+//
+//	hvctrace -capture gups -insns 1000000 -out gups.hvct
+//	hvctrace -info gups.hvct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/trace"
+	"hybridvc/internal/workload"
+)
+
+func main() {
+	capture := flag.String("capture", "", "workload name to capture")
+	insns := flag.Uint64("insns", 1_000_000, "instructions to capture")
+	out := flag.String("out", "trace.hvct", "output trace path")
+	seed := flag.Int64("seed", 1, "workload seed")
+	info := flag.String("info", "", "trace file to summarize")
+	flag.Parse()
+
+	switch {
+	case *capture != "":
+		if err := doCapture(*capture, *insns, *out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "hvctrace:", err)
+			os.Exit(1)
+		}
+	case *info != "":
+		if err := doInfo(*info); err != nil {
+			fmt.Fprintln(os.Stderr, "hvctrace:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doCapture(name string, insns uint64, out string, seed int64) error {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return err
+	}
+	k := osmodel.NewKernel(osmodel.Config{PhysBytes: 32 << 30})
+	g, err := workload.New(spec, k, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Capture(f, g, insns); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d instructions of %q to %s (%d bytes, %.2f B/insn)\n",
+		insns, name, out, st.Size(), float64(st.Size())/float64(insns))
+	return nil
+}
+
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var mem, stores, deps, shared, mispredicts uint64
+	pages := map[uint64]bool{}
+	for {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if in.IsMem {
+			mem++
+			pages[in.VA.Page()] = true
+			if in.IsStore {
+				stores++
+			}
+			if in.Shared {
+				shared++
+			}
+		}
+		if in.DependsOnPrev {
+			deps++
+		}
+		if in.Mispredict {
+			mispredicts++
+		}
+	}
+	n := r.Count()
+	fmt.Printf("%s: %d instructions\n", path, n)
+	fmt.Printf("  memory refs:    %d (%.1f%%)\n", mem, pct(mem, n))
+	fmt.Printf("  stores:         %d (%.1f%% of refs)\n", stores, pct(stores, mem))
+	fmt.Printf("  dependent:      %d (%.1f%%)\n", deps, pct(deps, n))
+	fmt.Printf("  shared refs:    %d (%.1f%% of refs)\n", shared, pct(shared, mem))
+	fmt.Printf("  mispredicts:    %d (%.2f%%)\n", mispredicts, pct(mispredicts, n))
+	fmt.Printf("  page footprint: %d pages (%.1f MiB)\n", len(pages), float64(len(pages))*4/1024)
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

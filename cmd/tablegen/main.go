@@ -1,0 +1,132 @@
+// Command tablegen regenerates the paper's tables and figures from the
+// simulator. Each experiment prints the same rows/series the paper
+// reports; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	tablegen -exp table1|table2|table3|fig4|fig7a|fig7b|fig9|fig10|fig11|latency|ablations|all [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hybridvc/experiments"
+	"hybridvc/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, table3, fig4, fig7a, fig7b, fig9, fig10, fig11, multicore, consolidation, latency, ablations, all)")
+	full := flag.Bool("full", false, "run at full (paper-length) scale instead of quick scale")
+	outDir := flag.String("out", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tablegen:", err)
+			os.Exit(1)
+		}
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	runners := map[string]func() []*stats.Table{
+		"table1": func() []*stats.Table {
+			_, t := experiments.TableI(scale)
+			return []*stats.Table{t}
+		},
+		"table2": func() []*stats.Table {
+			_, t := experiments.TableII(scale)
+			return []*stats.Table{t}
+		},
+		"table3": func() []*stats.Table {
+			_, t := experiments.TableIII(scale)
+			return []*stats.Table{t}
+		},
+		"fig4": func() []*stats.Table {
+			_, t := experiments.Figure4(scale)
+			return []*stats.Table{t}
+		},
+		"fig7a": func() []*stats.Table {
+			_, t := experiments.Figure7a(scale)
+			return []*stats.Table{t}
+		},
+		"fig7b": func() []*stats.Table {
+			_, t := experiments.Figure7b(scale)
+			return []*stats.Table{t}
+		},
+		"fig9": func() []*stats.Table {
+			_, t := experiments.Figure9(scale)
+			return []*stats.Table{t}
+		},
+		"fig10": func() []*stats.Table {
+			_, t := experiments.Figure10(scale)
+			return []*stats.Table{t}
+		},
+		"fig11": func() []*stats.Table {
+			_, t := experiments.Figure11(scale)
+			return []*stats.Table{t}
+		},
+		"consolidation": func() []*stats.Table {
+			return []*stats.Table{experiments.Consolidation(scale)}
+		},
+		"multicore": func() []*stats.Table {
+			_, t := experiments.Multicore(scale)
+			return []*stats.Table{t}
+		},
+		"latency": func() []*stats.Table {
+			return []*stats.Table{experiments.SegmentWalkLatency(scale)}
+		},
+		"ablations": func() []*stats.Table {
+			return []*stats.Table{
+				experiments.AblationFilterDesign(scale),
+				experiments.AblationSegmentCache(scale),
+				experiments.AblationHugePages(scale),
+				experiments.AblationSerialParallel(scale),
+			}
+		},
+	}
+	order := []string{"table1", "table2", "table3", "fig4", "fig7a", "fig7b",
+		"fig9", "fig10", "fig11", "multicore", "consolidation", "latency", "ablations"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := runners[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "tablegen: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		for i, t := range runners[name]() {
+			fmt.Println(t)
+			if *outDir != "" {
+				path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", name, i))
+				if err := writeCSV(path, t); err != nil {
+					fmt.Fprintln(os.Stderr, "tablegen:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(path string, t *stats.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,60 @@
+package hybridvc_test
+
+import (
+	"fmt"
+
+	"hybridvc"
+)
+
+// ExampleNew builds the paper's proposed system, runs a TLB-heavy workload
+// on it, and reports how it fared against the conventional baseline.
+func ExampleNew() {
+	hybrid, err := hybridvc.New(hybridvc.Config{Org: hybridvc.HybridManySegSC})
+	if err != nil {
+		panic(err)
+	}
+	if err := hybrid.LoadWorkload("gups"); err != nil {
+		panic(err)
+	}
+	hr, err := hybrid.Run(50_000)
+	if err != nil {
+		panic(err)
+	}
+
+	base, err := hybridvc.New(hybridvc.Config{Org: hybridvc.Baseline})
+	if err != nil {
+		panic(err)
+	}
+	if err := base.LoadWorkload("gups"); err != nil {
+		panic(err)
+	}
+	br, err := base.Run(50_000)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("hybrid faster:", hr.Cycles < br.Cycles)
+	fmt.Println("hybrid saves translation energy:", hr.TranslationEnergyPJ < br.TranslationEnergyPJ)
+	// Output:
+	// hybrid faster: true
+	// hybrid saves translation energy: true
+}
+
+// ExampleOrganizations enumerates the design points available for study.
+func ExampleOrganizations() {
+	for _, org := range hybridvc.Organizations() {
+		fmt.Println(org)
+	}
+	// Output:
+	// baseline
+	// ideal
+	// hybrid-dtlb
+	// hybrid-manyseg
+	// hybrid-manyseg+sc
+	// enigma
+	// rmm
+	// direct-segment
+	// ovc
+	// virt-2d
+	// virt-hybrid
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridvc"
+	"hybridvc/internal/addr"
+	"hybridvc/internal/bloom"
+	"hybridvc/internal/core"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/synfilter"
+)
+
+// FilterDesign is one synonym filter design point for the A1 ablation.
+type FilterDesign struct {
+	Label string
+	// Probe reports whether the design flags va as a candidate.
+	Probe func(va addr.VA) bool
+}
+
+// AblationFilterDesign compares the paper's two-granularity, two-hash
+// design against simpler filters: a single fine filter, a single coarse
+// filter, and a one-hash variant. It marks realistic shared ranges (8-page
+// regions) and measures false positives over a disjoint probe stream.
+func AblationFilterDesign(scale Scale) *stats.Table {
+	n := scale.pick(200_000, 2_000_000)
+	rng := rand.New(rand.NewSource(23))
+
+	// Shared ranges: 16 regions of 8 pages in the low half of the space.
+	type rg struct {
+		start addr.VA
+		len   uint64
+	}
+	var ranges []rg
+	for i := 0; i < 16; i++ {
+		start := addr.VA(rng.Uint64()%(1<<40)) & ^addr.VA(1<<synfilter.FineBits-1)
+		ranges = append(ranges, rg{start, 8 * addr.PageSize})
+	}
+
+	paper := synfilter.New()
+	fineOnly := bloom.New(addr.VABits - synfilter.FineBits)
+	coarseOnly := bloom.New(addr.VABits - synfilter.CoarseBits)
+	oneHash := bloom.New(addr.VABits - synfilter.FineBits) // probe uses one index
+
+	for _, r := range ranges {
+		paper.MarkSynonymRange(r.start, r.len)
+		for off := uint64(0); off < r.len; off += addr.PageSize {
+			va := r.start + addr.VA(off)
+			fineOnly.Insert(uint64(va) >> synfilter.FineBits)
+			coarseOnly.Insert(uint64(va) >> synfilter.CoarseBits)
+			oneHash.Insert(uint64(va) >> synfilter.FineBits)
+		}
+	}
+	designs := []FilterDesign{
+		{"two-granularity x two-hash (paper)", paper.ProbeQuiet},
+		{"fine 32KB only", func(va addr.VA) bool {
+			return fineOnly.Contains(uint64(va) >> synfilter.FineBits)
+		}},
+		{"coarse 16MB only", func(va addr.VA) bool {
+			return coarseOnly.Contains(uint64(va) >> synfilter.CoarseBits)
+		}},
+		{"fine, single hash", func(va addr.VA) bool {
+			return containsOne(oneHash, uint64(va)>>synfilter.FineBits)
+		}},
+	}
+
+	t := stats.NewTable("Ablation A1: synonym filter design vs false-positive rate",
+		"design", "false positives", "rate")
+	for _, d := range designs {
+		fp := uint64(0)
+		probes := uint64(0)
+		prng := rand.New(rand.NewSource(29))
+		for i := uint64(0); i < n; i++ {
+			// Probe the disjoint upper half of the address space.
+			va := addr.VA(1<<41 | prng.Uint64()%(1<<40))
+			probes++
+			if d.Probe(va) {
+				fp++
+			}
+		}
+		t.AddRow(d.Label, fmt.Sprintf("%d", fp),
+			fmt.Sprintf("%.4f%%", 100*stats.Ratio(fp, probes)))
+	}
+	return t
+}
+
+// containsOne checks only the first hash function's bit — the single-hash
+// ablation.
+func containsOne(f *bloom.Filter, granule uint64) bool {
+	i1, _ := f.Indices(granule)
+	w := f.Words()
+	return w[i1/64]&(1<<(i1%64)) != 0
+}
+
+// AblationSegmentCache quantifies the segment cache's contribution (the
+// Figure 9 with/without-SC pair) on a friendly and an adversarial
+// workload.
+func AblationSegmentCache(scale Scale) *stats.Table {
+	n := scale.pick(40_000, 500_000)
+	t := stats.NewTable("Ablation A2: segment cache on/off",
+		"workload", "many-segment cycles", "+SC cycles", "SC speedup")
+	for _, wl := range []string{"stream", "gups"} {
+		run := func(org hybridvc.Organization) uint64 {
+			sys, err := hybridvc.New(hybridvc.Config{Org: org})
+			if err != nil {
+				panic(err)
+			}
+			if err := sys.LoadWorkload(wl); err != nil {
+				panic(err)
+			}
+			rep, err := sys.Run(n)
+			if err != nil {
+				panic(err)
+			}
+			return rep.Cycles
+		}
+		without := run(hybridvc.HybridManySeg)
+		with := run(hybridvc.HybridManySegSC)
+		t.AddRow(wl, fmt.Sprintf("%d", without), fmt.Sprintf("%d", with),
+			fmt.Sprintf("%.3f", float64(without)/float64(with)))
+	}
+	return t
+}
+
+// SegmentWalkLatency reports the delayed many-segment translation latency
+// distribution, validating the paper's ~20-cycle estimate (<=4 index cache
+// probes at 3 cycles plus a 7-cycle segment table access).
+func SegmentWalkLatency(scale Scale) *stats.Table {
+	n := scale.pick(60_000, 500_000)
+	sys, err := hybridvc.New(hybridvc.Config{Org: hybridvc.HybridManySeg})
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.LoadWorkload("xalancbmk"); err != nil {
+		panic(err)
+	}
+	if _, err := sys.Run(n); err != nil {
+		panic(err)
+	}
+	tr := sys.Mem.(*core.HybridMMU).Translator()
+	t := stats.NewTable("Delayed many-segment translation walk statistics (Section IV-C)",
+		"metric", "value")
+	t.AddRow("index tree walks", fmt.Sprintf("%d", tr.Walks.Value()))
+	t.AddRow("mean walk depth (nodes)", fmt.Sprintf("%.2f", tr.WalkDepth.Mean()))
+	t.AddRow("max walk depth (nodes)", fmt.Sprintf("%d", tr.WalkDepth.Max()))
+	warmCycles := tr.WalkDepth.Mean()*3 + 7
+	t.AddRow("warm walk latency (cycles)", fmt.Sprintf("%.1f", warmCycles))
+	t.AddRow("paper estimate (cycles)", "<= 19-20")
+	return t
+}

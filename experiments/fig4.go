@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridvc/internal/core"
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/workload"
+)
+
+// Figure4Sizes are the delayed TLB sizes swept in Figure 4.
+var Figure4Sizes = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Figure4Workloads are the applications of Figure 4.
+var Figure4Workloads = []string{"gups", "milc", "mcf", "xalancbmk", "tigr", "omnetpp", "soplex"}
+
+// Figure4Series holds one workload's delayed-TLB MPKI across sizes,
+// normalized to the 1K-entry configuration (the paper plots normalized
+// MPKI %).
+type Figure4Series struct {
+	Workload   string
+	MPKI       []float64
+	Normalized []float64
+}
+
+// Figure4 sweeps the delayed TLB size behind a 2 MiB LLC: for big-memory
+// workloads (gups, milc, mcf) even a 32K-entry delayed TLB barely reduces
+// misses — fixed-granularity delayed translation does not scale.
+func Figure4(scale Scale) ([]Figure4Series, *stats.Table) {
+	n := scale.pick(150_000, 2_000_000)
+	var series []Figure4Series
+	for _, name := range Figure4Workloads {
+		spec := workload.Specs[name]
+		s := Figure4Series{Workload: name}
+		for _, size := range Figure4Sizes {
+			k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
+			cfg := core.DefaultHybridConfig(1)
+			cfg.Delayed = core.DelayedPageTLB
+			cfg.DelayedTLBEntries = size
+			ms := core.NewHybridMMU(cfg, k)
+			gens, err := workload.NewGroup(spec, k, 1)
+			if err != nil {
+				panic(fmt.Sprintf("fig4 %s: %v", name, err))
+			}
+			driveMem(ms, gens, n)
+			var insns uint64
+			for _, g := range gens {
+				insns += g.Emitted()
+			}
+			s.MPKI = append(s.MPKI, stats.PerKilo(ms.DelayedTLBMisses.Value(), insns))
+		}
+		base := s.MPKI[0]
+		for _, m := range s.MPKI {
+			if base > 0 {
+				s.Normalized = append(s.Normalized, m/base)
+			} else {
+				s.Normalized = append(s.Normalized, 0)
+			}
+		}
+		series = append(series, s)
+	}
+	cols := []string{"workload"}
+	for _, size := range Figure4Sizes {
+		cols = append(cols, fmt.Sprintf("%dk ent.", size/1024))
+	}
+	t := stats.NewTable("Figure 4: normalized delayed-TLB miss rate (MPKI, % of 1K-entry)", cols...)
+	for _, s := range series {
+		row := []string{s.Workload}
+		for _, v := range s.Normalized {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*v))
+		}
+		t.AddRow(row...)
+	}
+	return series, t
+}

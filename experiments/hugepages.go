@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridvc"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/workload"
+)
+
+// AblationHugePages (A3) pits the conventional mitigation for TLB reach —
+// transparent 2 MiB huge pages — against delayed many-segment translation.
+// Huge pages multiply TLB reach 512x but still cap it (32 entries x 2 MiB
+// = 64 MiB here), while segments cover arbitrarily large contiguous
+// regions; the paper's Section IV argument in one table.
+func AblationHugePages(scale Scale) *stats.Table {
+	n := scale.pick(40_000, 500_000)
+	t := stats.NewTable("Ablation A3: huge pages vs many-segment delayed translation",
+		"workload", "baseline 4K", "baseline 2M (THP)", "hybrid many-seg+SC")
+	for _, wl := range []string{"gups", "mcf"} {
+		spec := workload.Specs[wl]
+		run := func(org hybridvc.Organization, huge bool) uint64 {
+			s := spec
+			s.HugePages = huge
+			sys, err := hybridvc.New(hybridvc.Config{Org: org})
+			if err != nil {
+				panic(err)
+			}
+			if err := sys.LoadSpec(s); err != nil {
+				panic(fmt.Sprintf("hugepages %s: %v", wl, err))
+			}
+			rep, err := sys.Run(n)
+			if err != nil {
+				panic(err)
+			}
+			return rep.Cycles
+		}
+		base4k := run(hybridvc.Baseline, false)
+		base2m := run(hybridvc.Baseline, true)
+		hybrid := run(hybridvc.HybridManySegSC, false)
+		t.AddRow(wl,
+			fmt.Sprintf("%d (1.00x)", base4k),
+			fmt.Sprintf("%d (%.2fx)", base2m, float64(base4k)/float64(base2m)),
+			fmt.Sprintf("%d (%.2fx)", hybrid, float64(base4k)/float64(hybrid)))
+	}
+	return t
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridvc"
+	"hybridvc/internal/stats"
+)
+
+// MulticoreMixes are quad-core multiprogrammed combinations, in the style
+// of the paper's multi-programmed evaluation (Section VI runs mixes of
+// four applications on a quad-core system sharing the LLC and the delayed
+// translation hardware).
+var MulticoreMixes = [][]string{
+	{"gups", "mcf", "omnetpp", "xalancbmk"},
+	{"stream", "milc", "soplex", "astar"},
+}
+
+// MulticoreResult reports one mix's comparison.
+type MulticoreResult struct {
+	Mix      string
+	Baseline uint64
+	Hybrid   uint64
+	Speedup  float64
+}
+
+// Multicore runs quad-core multiprogrammed mixes on the baseline and the
+// hybrid design. The shared LLC and the single shared index cache /
+// segment table are the contended resources (the paper notes one index
+// cache and segment table serve all cores).
+func Multicore(scale Scale) ([]MulticoreResult, *stats.Table) {
+	n := scale.pick(25_000, 500_000)
+	var results []MulticoreResult
+	for _, mix := range MulticoreMixes {
+		label := ""
+		for i, wl := range mix {
+			if i > 0 {
+				label += "+"
+			}
+			label += wl
+		}
+		run := func(org hybridvc.Organization) uint64 {
+			sys, err := hybridvc.New(hybridvc.Config{Org: org, Cores: 4})
+			if err != nil {
+				panic(err)
+			}
+			for _, wl := range mix {
+				if err := sys.LoadWorkload(wl); err != nil {
+					panic(fmt.Sprintf("multicore %s: %v", wl, err))
+				}
+			}
+			rep, err := sys.Run(n)
+			if err != nil {
+				panic(err)
+			}
+			return rep.Cycles
+		}
+		base := run(hybridvc.Baseline)
+		hyb := run(hybridvc.HybridManySegSC)
+		results = append(results, MulticoreResult{
+			Mix: label, Baseline: base, Hybrid: hyb,
+			Speedup: float64(base) / float64(hyb),
+		})
+	}
+	t := stats.NewTable("Quad-core multiprogrammed mixes: baseline vs hybrid",
+		"mix", "baseline cycles", "hybrid cycles", "speedup")
+	for _, r := range results {
+		t.AddRow(r.Mix, fmt.Sprintf("%d", r.Baseline), fmt.Sprintf("%d", r.Hybrid),
+			fmt.Sprintf("%.3f", r.Speedup))
+	}
+	return results, t
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridvc/internal/core"
+	"hybridvc/internal/cpu"
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/workload"
+)
+
+// AblationSerialParallel (A4) quantifies Section IV-C's design choice:
+// delayed translation can run in parallel with the LLC access (hiding its
+// latency) or serially after the miss (saving the energy of translations
+// that an LLC hit would have made unnecessary). The paper chooses serial;
+// this table shows the latency/energy trade both ways.
+func AblationSerialParallel(scale Scale) *stats.Table {
+	n := scale.pick(40_000, 500_000)
+	t := stats.NewTable("Ablation A4: serial vs parallel delayed translation",
+		"workload", "mode", "cycles", "delayed xlations", "dynamic energy (pJ)")
+	for _, wl := range []string{"omnetpp", "gups"} {
+		for _, parallel := range []bool{false, true} {
+			k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
+			cfg := core.DefaultHybridConfig(1)
+			cfg.ParallelDelayed = parallel
+			ms := core.NewHybridMMU(cfg, k)
+			gens, err := workload.NewGroup(workload.Specs[wl], k, 1)
+			if err != nil {
+				panic(fmt.Sprintf("a4 %s: %v", wl, err))
+			}
+			s := sim.New(sim.Config{CPU: cpu.DefaultConfig(), FetchEvery: 8, Timeslice: 50_000, Interleave: 128}, ms, gens)
+			rep := s.Run(n)
+			mode := "serial (paper)"
+			if parallel {
+				mode = "parallel"
+			}
+			t.AddRow(wl, mode,
+				fmt.Sprintf("%d", rep.Cycles),
+				fmt.Sprintf("%d", ms.DelayedTranslations.Value()),
+				fmt.Sprintf("%.0f", rep.DynamicEnergyPJ))
+		}
+	}
+	return t
+}

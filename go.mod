@@ -1,0 +1,3 @@
+module hybridvc
+
+go 1.22

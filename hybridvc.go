@@ -1,0 +1,258 @@
+// Package hybridvc is a simulator for hybrid virtual caching with
+// efficient synonym filtering and scalable delayed translation, a
+// reproduction of Park, Heo and Huh (ISCA 2016).
+//
+// The package is the public facade over the internal substrates: it builds
+// complete systems (OS model + memory system organization + timing cores),
+// loads named workloads, and runs simulations:
+//
+//	sys, err := hybridvc.New(hybridvc.Config{Org: hybridvc.HybridManySegSC})
+//	if err != nil { ... }
+//	if err := sys.LoadWorkload("gups"); err != nil { ... }
+//	report, err := sys.Run(1_000_000)
+//
+// Organizations cover the paper's evaluated design points: the
+// conventional physically addressed baseline, delayed page-granularity
+// TLBs of various sizes, many-segment delayed translation with and
+// without the segment cache, an ideal (free) TLB, RMM- and direct-
+// segment-style range translation, an Enigma-style intermediate address
+// design, and the virtualized variants (2D-walk baseline and virtualized
+// hybrid).
+package hybridvc
+
+import (
+	"fmt"
+
+	"hybridvc/internal/baseline"
+	"hybridvc/internal/core"
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/virt"
+	"hybridvc/internal/workload"
+)
+
+// Organization selects the memory system under test.
+type Organization string
+
+// The evaluated organizations.
+const (
+	// Baseline is the conventional physically addressed system with a
+	// two-level TLB (Table IV).
+	Baseline Organization = "baseline"
+	// Ideal has free address translation (the paper's "ideal TLB").
+	Ideal Organization = "ideal"
+	// HybridDelayedTLB is hybrid virtual caching with a fixed-granularity
+	// delayed TLB (size set by Config.DelayedTLBEntries).
+	HybridDelayedTLB Organization = "hybrid-dtlb"
+	// HybridManySeg is hybrid virtual caching with many-segment delayed
+	// translation, without the segment cache.
+	HybridManySeg Organization = "hybrid-manyseg"
+	// HybridManySegSC adds the 128-entry segment cache.
+	HybridManySegSC Organization = "hybrid-manyseg+sc"
+	// Enigma is the intermediate-address-space design: delayed
+	// page-granularity translation without a synonym filter.
+	Enigma Organization = "enigma"
+	// RMM is redundant memory mapping: 32 pre-L1 range entries.
+	RMM Organization = "rmm"
+	// DirectSegment is a single base/limit/offset segment per process.
+	DirectSegment Organization = "direct-segment"
+	// OVC is opportunistic virtual caching: only the L1 is virtual, so
+	// L1 misses still translate (energy-saving prior work; single-core).
+	OVC Organization = "ovc"
+	// Virt2D is the virtualized baseline with nested (2D) page walks and
+	// a nested-TLB translation cache.
+	Virt2D Organization = "virt-2d"
+	// VirtHybrid is the virtualized hybrid design (Section V).
+	VirtHybrid Organization = "virt-hybrid"
+)
+
+// Organizations lists every selectable organization.
+func Organizations() []Organization {
+	return []Organization{
+		Baseline, Ideal, HybridDelayedTLB, HybridManySeg, HybridManySegSC,
+		Enigma, RMM, DirectSegment, OVC, Virt2D, VirtHybrid,
+	}
+}
+
+// Virtualized reports whether the organization runs inside a VM.
+func (o Organization) Virtualized() bool { return o == Virt2D || o == VirtHybrid }
+
+// Config assembles a system.
+type Config struct {
+	// Org selects the memory system organization (default HybridManySegSC).
+	Org Organization
+	// Cores is the hardware core count (default 1).
+	Cores int
+	// PhysBytes is the physical (or machine) memory size (default 16 GiB).
+	PhysBytes uint64
+	// GuestBytes is the VM size for virtualized organizations
+	// (default 4 GiB).
+	GuestBytes uint64
+	// DelayedTLBEntries sizes the delayed TLB for HybridDelayedTLB and
+	// Enigma (default 1024).
+	DelayedTLBEntries int
+	// IndexCacheBytes sizes the index cache (default 32 KiB).
+	IndexCacheBytes int
+	// LLCBytes overrides the shared LLC capacity (default 2 MiB).
+	LLCBytes int
+	// Sim configures the timing harness.
+	Sim sim.Config
+	// Seed drives all workload randomness (default 1).
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Org == "" {
+		c.Org = HybridManySegSC
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.PhysBytes == 0 {
+		c.PhysBytes = 16 << 30
+	}
+	if c.GuestBytes == 0 {
+		c.GuestBytes = 4 << 30
+	}
+	if c.DelayedTLBEntries == 0 {
+		c.DelayedTLBEntries = 1024
+	}
+	if c.IndexCacheBytes == 0 {
+		c.IndexCacheBytes = 32 << 10
+	}
+	if c.Sim.CPU.ROBSize == 0 {
+		c.Sim = sim.DefaultConfig()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// System is a ready-to-run simulated machine.
+type System struct {
+	cfg Config
+	// Kernel is the operating system (the guest kernel when virtualized).
+	Kernel *osmodel.Kernel
+	// Mem is the memory system under test.
+	Mem core.MemSystem
+	// Hypervisor and VM are set for virtualized organizations.
+	Hypervisor *virt.Hypervisor
+	VM         *virt.VM
+
+	gens []*workload.Generator
+	// LastSim is the harness from the most recent Run.
+	LastSim *sim.Simulator
+}
+
+// New builds a system for the configuration.
+func New(cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	s := &System{cfg: cfg}
+
+	if cfg.Org.Virtualized() {
+		s.Hypervisor = virt.NewHypervisor(cfg.PhysBytes)
+		vm, err := s.Hypervisor.NewVM(cfg.GuestBytes, 4)
+		if err != nil {
+			return nil, err
+		}
+		s.VM = vm
+		s.Kernel = vm.Kernel
+	} else {
+		s.Kernel = osmodel.NewKernel(osmodel.Config{PhysBytes: cfg.PhysBytes})
+	}
+
+	switch cfg.Org {
+	case Baseline:
+		bc := baseline.DefaultConfig(cfg.Cores)
+		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		s.Mem = baseline.NewConventional(bc, s.Kernel)
+	case Ideal:
+		bc := baseline.DefaultConfig(cfg.Cores)
+		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		s.Mem = baseline.NewIdeal(bc, s.Kernel)
+	case RMM:
+		bc := baseline.DefaultConfig(cfg.Cores)
+		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		s.Mem = baseline.NewRMM(bc, s.Kernel)
+	case DirectSegment:
+		bc := baseline.DefaultConfig(cfg.Cores)
+		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		s.Mem = baseline.NewDirectSegment(bc, s.Kernel)
+	case OVC:
+		if cfg.Cores != 1 {
+			return nil, fmt.Errorf("hybridvc: the OVC model is single-core")
+		}
+		bc := baseline.DefaultConfig(1)
+		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		s.Mem = baseline.NewOVC(bc, s.Kernel)
+	case HybridDelayedTLB, Enigma:
+		hc := core.DefaultHybridConfig(cfg.Cores)
+		applyLLC(&hc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		hc.Delayed = core.DelayedPageTLB
+		hc.DelayedTLBEntries = cfg.DelayedTLBEntries
+		hc.WithSegmentCache = false
+		hc.FilterBypass = cfg.Org == Enigma
+		s.Mem = core.NewHybridMMU(hc, s.Kernel)
+	case HybridManySeg, HybridManySegSC:
+		hc := core.DefaultHybridConfig(cfg.Cores)
+		applyLLC(&hc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		hc.Delayed = core.DelayedSegments
+		hc.WithSegmentCache = cfg.Org == HybridManySegSC
+		hc.IndexCacheBytes = cfg.IndexCacheBytes
+		s.Mem = core.NewHybridMMU(hc, s.Kernel)
+	case Virt2D:
+		bc := baseline.DefaultConfig(cfg.Cores)
+		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		s.Mem = baseline.NewVirt2D(bc, s.VM)
+	case VirtHybrid:
+		vc := core.DefaultVirtHybridConfig(cfg.Cores)
+		applyLLC(&vc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+		vc.IndexCacheBytes = cfg.IndexCacheBytes
+		s.Mem = core.NewVirtHybridMMU(vc, s.VM, s.Hypervisor)
+	default:
+		return nil, fmt.Errorf("hybridvc: unknown organization %q", cfg.Org)
+	}
+	return s, nil
+}
+
+func applyLLC(dst *int, override int) {
+	if override > 0 {
+		*dst = override
+	}
+}
+
+// LoadWorkload instantiates the named workload's processes in the system.
+func (s *System) LoadWorkload(name string) error {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return err
+	}
+	return s.LoadSpec(spec)
+}
+
+// LoadSpec instantiates a custom workload spec.
+func (s *System) LoadSpec(spec workload.Spec) error {
+	gens, err := workload.NewGroup(spec, s.Kernel, s.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	s.gens = append(s.gens, gens...)
+	if ds, ok := s.Mem.(*baseline.DirectSegment); ok {
+		for _, g := range gens {
+			ds.AssignSegment(g.Proc)
+		}
+	}
+	return nil
+}
+
+// Generators returns the loaded workload generators.
+func (s *System) Generators() []*workload.Generator { return s.gens }
+
+// Run simulates n instructions per core and returns the report.
+func (s *System) Run(n uint64) (sim.Report, error) {
+	if len(s.gens) == 0 {
+		return sim.Report{}, fmt.Errorf("hybridvc: no workload loaded")
+	}
+	s.LastSim = sim.New(s.cfg.Sim, s.Mem, s.gens)
+	return s.LastSim.Run(n), nil
+}

@@ -1,0 +1,91 @@
+package hybridvc
+
+import (
+	"testing"
+)
+
+func TestAllOrganizationsRun(t *testing.T) {
+	for _, org := range Organizations() {
+		org := org
+		t.Run(string(org), func(t *testing.T) {
+			sys, err := New(Config{Org: org, LLCBytes: 256 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.LoadWorkload("stream"); err != nil {
+				t.Fatal(err)
+			}
+			r, err := sys.Run(5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Instructions != 5000 || r.Cycles == 0 {
+				t.Errorf("%s: report %+v", org, r)
+			}
+		})
+	}
+}
+
+func TestUnknownOrganization(t *testing.T) {
+	if _, err := New(Config{Org: "bogus"}); err == nil {
+		t.Error("unknown org accepted")
+	}
+}
+
+func TestRunWithoutWorkload(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100); err == nil {
+		t.Error("run without workload succeeded")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	sys, _ := New(Config{})
+	if err := sys.LoadWorkload("bogus"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mem.Name() != "hybrid-manyseg+sc" {
+		t.Errorf("default org = %s", sys.Mem.Name())
+	}
+	if sys.Mem.Hierarchy().NumCores() != 1 {
+		t.Error("default cores != 1")
+	}
+}
+
+func TestVirtualizedWiring(t *testing.T) {
+	sys, err := New(Config{Org: VirtHybrid, GuestBytes: 1 << 30, PhysBytes: 4 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.VM == nil || sys.Hypervisor == nil {
+		t.Fatal("virtualized system missing VM/hypervisor")
+	}
+	if sys.Kernel != sys.VM.Kernel {
+		t.Error("kernel is not the guest kernel")
+	}
+	if !VirtHybrid.Virtualized() || Baseline.Virtualized() {
+		t.Error("Virtualized() wrong")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		sys, _ := New(Config{Org: HybridManySegSC, Seed: 7, LLCBytes: 256 << 10})
+		sys.LoadWorkload("mcf")
+		r, _ := sys.Run(10000)
+		return r.Cycles
+	}
+	if run() != run() {
+		t.Error("nondeterministic facade runs")
+	}
+}

@@ -1,0 +1,209 @@
+// Package addr defines the address types shared by every component of the
+// hybrid virtual caching simulator: virtual and physical addresses, address
+// space identifiers (ASIDs), and the unified cache "name" that identifies a
+// block in the virtually addressed hierarchy.
+//
+// The paper addresses non-synonym cachelines by ASID concatenated with the
+// virtual address (ASID+VA) and synonym cachelines by physical address. A
+// Name value carries either form, so caches, coherence, and the delayed
+// translation machinery can treat both uniformly while preserving the
+// paper's single-name-per-physical-block invariant.
+package addr
+
+import "fmt"
+
+// Fundamental geometry constants. The simulator models a 48-bit virtual
+// address space and a 40-bit physical address space (the paper's worst-case
+// index-cache study distributes segments over a 40-bit physical space).
+const (
+	// LineBits is log2 of the cache line size (64 B).
+	LineBits = 6
+	// LineSize is the cache line size in bytes.
+	LineSize = 1 << LineBits
+	// PageBits is log2 of the base page size (4 KiB).
+	PageBits = 12
+	// PageSize is the base page size in bytes.
+	PageSize = 1 << PageBits
+	// HugePageBits is log2 of the 2 MiB huge page / segment cache granule.
+	HugePageBits = 21
+	// HugePageSize is the 2 MiB granule size.
+	HugePageSize = 1 << HugePageBits
+	// VABits is the number of implemented virtual address bits.
+	VABits = 48
+	// PABits is the number of implemented physical address bits.
+	PABits = 40
+)
+
+// VA is a virtual address. In virtualized configurations it holds a guest
+// virtual address (gVA).
+type VA uint64
+
+// PA is a physical address. In virtualized configurations it holds a machine
+// address (MA); guest physical addresses use the GPA type.
+type PA uint64
+
+// GPA is a guest physical address, the intermediate space of two-dimensional
+// translation (gVA -> gPA -> MA).
+type GPA uint64
+
+// NoPA is a sentinel for "no physical address".
+const NoPA PA = ^PA(0)
+
+// ASID identifies an address space. The paper configures 16 bits, which must
+// cover both the process identifier and, on virtualized systems, the virtual
+// machine identifier (VMID). We pack VMID in the high 6 bits and the
+// per-VM process id in the low 10 bits; native processes use VMID 0.
+type ASID uint16
+
+const (
+	vmidBits = 6
+	procBits = 10
+	// MaxVMID is the largest encodable virtual machine identifier.
+	MaxVMID = 1<<vmidBits - 1
+	// MaxProc is the largest encodable per-VM process identifier.
+	MaxProc = 1<<procBits - 1
+)
+
+// MakeASID packs a VMID and a per-VM process id into an ASID.
+// It panics if either component is out of range; identifier allocation is an
+// OS/hypervisor responsibility and running out is a configuration error.
+func MakeASID(vmid, proc uint32) ASID {
+	if vmid > MaxVMID {
+		panic(fmt.Sprintf("addr: VMID %d exceeds %d", vmid, MaxVMID))
+	}
+	if proc > MaxProc {
+		panic(fmt.Sprintf("addr: process id %d exceeds %d", proc, MaxProc))
+	}
+	return ASID(vmid<<procBits | proc)
+}
+
+// VMID extracts the virtual machine identifier.
+func (a ASID) VMID() uint32 { return uint32(a) >> procBits }
+
+// Proc extracts the per-VM process identifier.
+func (a ASID) Proc() uint32 { return uint32(a) & MaxProc }
+
+func (a ASID) String() string {
+	return fmt.Sprintf("asid(vm=%d,proc=%d)", a.VMID(), a.Proc())
+}
+
+// Page returns the 4 KiB virtual page number.
+func (v VA) Page() uint64 { return uint64(v) >> PageBits }
+
+// HugePage returns the 2 MiB virtual granule number.
+func (v VA) HugePage() uint64 { return uint64(v) >> HugePageBits }
+
+// Line returns the cache line number.
+func (v VA) Line() uint64 { return uint64(v) >> LineBits }
+
+// PageOffset returns the offset within the 4 KiB page.
+func (v VA) PageOffset() uint64 { return uint64(v) & (PageSize - 1) }
+
+// LineAligned returns the address rounded down to its cache line.
+func (v VA) LineAligned() VA { return v &^ (LineSize - 1) }
+
+// PageAligned returns the address rounded down to its 4 KiB page.
+func (v VA) PageAligned() VA { return v &^ (PageSize - 1) }
+
+// Canonical reports whether the address fits in the implemented VA bits.
+func (v VA) Canonical() bool { return uint64(v)>>VABits == 0 }
+
+// Frame returns the 4 KiB physical frame number.
+func (p PA) Frame() uint64 { return uint64(p) >> PageBits }
+
+// Line returns the physical cache line number.
+func (p PA) Line() uint64 { return uint64(p) >> LineBits }
+
+// PageOffset returns the offset within the 4 KiB frame.
+func (p PA) PageOffset() uint64 { return uint64(p) & (PageSize - 1) }
+
+// LineAligned returns the address rounded down to its cache line.
+func (p PA) LineAligned() PA { return p &^ (LineSize - 1) }
+
+// PageAligned returns the address rounded down to its 4 KiB frame.
+func (p PA) PageAligned() PA { return p &^ (PageSize - 1) }
+
+// FrameToPA converts a frame number back to a physical address.
+func FrameToPA(frame uint64) PA { return PA(frame << PageBits) }
+
+// PageToVA converts a virtual page number back to a virtual address.
+func PageToVA(page uint64) VA { return VA(page << PageBits) }
+
+// Perm is a 2-bit access permission carried in extended cache tags and
+// translation entries (Figure 2 of the paper).
+type Perm uint8
+
+const (
+	// PermNone denies all access.
+	PermNone Perm = 0
+	// PermRO allows reads only.
+	PermRO Perm = 1
+	// PermRW allows reads and writes.
+	PermRW Perm = 2
+	// PermExec allows instruction fetch (and reads).
+	PermExec Perm = 3
+)
+
+// AllowsWrite reports whether the permission admits stores.
+func (p Perm) AllowsWrite() bool { return p == PermRW }
+
+// AllowsRead reports whether the permission admits loads.
+func (p Perm) AllowsRead() bool { return p != PermNone }
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "none"
+	case PermRO:
+		return "ro"
+	case PermRW:
+		return "rw"
+	case PermExec:
+		return "exec"
+	}
+	return fmt.Sprintf("perm(%d)", uint8(p))
+}
+
+// Name is the unique identity of a cache block in the hybrid hierarchy: a
+// physical address for synonym blocks, or ASID+VA for non-synonym blocks.
+// It corresponds to the extended cache tag of Figure 2 (synonym bit, 16-bit
+// ASID, shared PA/VA tag field).
+type Name struct {
+	// Synonym is the tag's synonym bit: true means Addr holds a physical
+	// address and ASID is ignored.
+	Synonym bool
+	// ASID qualifies virtual names to avoid homonyms.
+	ASID ASID
+	// Addr holds a line-aligned PA (Synonym) or VA (non-synonym).
+	Addr uint64
+}
+
+// PhysName builds the name of a physically addressed (synonym) block.
+func PhysName(pa PA) Name {
+	return Name{Synonym: true, Addr: uint64(pa.LineAligned())}
+}
+
+// VirtName builds the name of a virtually addressed (non-synonym) block.
+func VirtName(asid ASID, va VA) Name {
+	return Name{ASID: asid, Addr: uint64(va.LineAligned())}
+}
+
+// Line returns the line number used for cache set indexing.
+func (n Name) Line() uint64 { return n.Addr >> LineBits }
+
+// Page returns the 4 KiB page/frame number of the block.
+func (n Name) Page() uint64 { return n.Addr >> PageBits }
+
+// SamePage reports whether the name falls in the given page of the given
+// address space kind: for synonym names the page is a physical frame, for
+// non-synonym names it is (asid, virtual page).
+func (n Name) SamePage(other Name) bool {
+	return n.Synonym == other.Synonym && n.ASID == other.ASID && n.Page() == other.Page()
+}
+
+func (n Name) String() string {
+	if n.Synonym {
+		return fmt.Sprintf("P:%#x", n.Addr)
+	}
+	return fmt.Sprintf("V:%s:%#x", n.ASID, n.Addr)
+}

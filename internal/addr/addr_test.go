@@ -1,0 +1,183 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeASIDRoundTrip(t *testing.T) {
+	cases := []struct{ vmid, proc uint32 }{
+		{0, 0}, {0, 1}, {1, 0}, {MaxVMID, MaxProc}, {3, 777}, {63, 1023},
+	}
+	for _, c := range cases {
+		a := MakeASID(c.vmid, c.proc)
+		if a.VMID() != c.vmid || a.Proc() != c.proc {
+			t.Errorf("MakeASID(%d,%d) = %v; round trip gave (%d,%d)",
+				c.vmid, c.proc, a, a.VMID(), a.Proc())
+		}
+	}
+}
+
+func TestMakeASIDPanicsOutOfRange(t *testing.T) {
+	for _, c := range []struct{ vmid, proc uint32 }{
+		{MaxVMID + 1, 0}, {0, MaxProc + 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeASID(%d,%d) did not panic", c.vmid, c.proc)
+				}
+			}()
+			MakeASID(c.vmid, c.proc)
+		}()
+	}
+}
+
+func TestASIDUniqueness(t *testing.T) {
+	// Distinct (vmid, proc) pairs must map to distinct ASIDs.
+	seen := make(map[ASID][2]uint32)
+	for vmid := uint32(0); vmid < 8; vmid++ {
+		for proc := uint32(0); proc < 64; proc++ {
+			a := MakeASID(vmid, proc)
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("ASID collision: (%d,%d) and (%d,%d) both map to %v",
+					vmid, proc, prev[0], prev[1], a)
+			}
+			seen[a] = [2]uint32{vmid, proc}
+		}
+	}
+}
+
+func TestVAHelpers(t *testing.T) {
+	v := VA(0x7f12_3456_789a)
+	if got, want := v.Page(), uint64(0x7f12_3456_789a)>>12; got != want {
+		t.Errorf("Page() = %#x, want %#x", got, want)
+	}
+	if got, want := v.HugePage(), uint64(0x7f12_3456_789a)>>21; got != want {
+		t.Errorf("HugePage() = %#x, want %#x", got, want)
+	}
+	if got, want := v.Line(), uint64(0x7f12_3456_789a)>>6; got != want {
+		t.Errorf("Line() = %#x, want %#x", got, want)
+	}
+	if got := v.PageOffset(); got != 0x89a {
+		t.Errorf("PageOffset() = %#x, want 0x89a", got)
+	}
+	if got := v.LineAligned(); got != VA(0x7f12_3456_7880) {
+		t.Errorf("LineAligned() = %#x", got)
+	}
+	if got := v.PageAligned(); got != VA(0x7f12_3456_7000) {
+		t.Errorf("PageAligned() = %#x", got)
+	}
+	if !v.Canonical() {
+		t.Error("48-bit address reported non-canonical")
+	}
+	if VA(1 << 52).Canonical() {
+		t.Error("52-bit address reported canonical")
+	}
+}
+
+func TestPAHelpers(t *testing.T) {
+	p := PA(0x12_3456_789a)
+	if got, want := p.Frame(), uint64(0x12_3456_789a)>>12; got != want {
+		t.Errorf("Frame() = %#x, want %#x", got, want)
+	}
+	if FrameToPA(p.Frame()) != p.PageAligned() {
+		t.Error("FrameToPA does not invert Frame")
+	}
+	if PageToVA(VA(p).Page()) != VA(p).PageAligned() {
+		t.Error("PageToVA does not invert Page")
+	}
+}
+
+func TestAlignmentProperties(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := VA(raw % (1 << VABits))
+		la := v.LineAligned()
+		pa := v.PageAligned()
+		return uint64(la)%LineSize == 0 &&
+			uint64(pa)%PageSize == 0 &&
+			la.Line() == v.Line() &&
+			pa.Page() == v.Page() &&
+			la <= v && v-la < LineSize &&
+			pa <= v && v-pa < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermBits(t *testing.T) {
+	if PermNone.AllowsRead() || PermNone.AllowsWrite() {
+		t.Error("PermNone allows access")
+	}
+	if !PermRO.AllowsRead() || PermRO.AllowsWrite() {
+		t.Error("PermRO wrong")
+	}
+	if !PermRW.AllowsRead() || !PermRW.AllowsWrite() {
+		t.Error("PermRW wrong")
+	}
+	if !PermExec.AllowsRead() || PermExec.AllowsWrite() {
+		t.Error("PermExec wrong")
+	}
+	for _, p := range []Perm{PermNone, PermRO, PermRW, PermExec} {
+		if p.String() == "" {
+			t.Errorf("empty String for %d", p)
+		}
+	}
+}
+
+func TestNameIdentity(t *testing.T) {
+	a := MakeASID(0, 7)
+	b := MakeASID(0, 8)
+	va := VA(0x1000_0040)
+
+	vn := VirtName(a, va)
+	if vn.Synonym {
+		t.Error("VirtName produced synonym name")
+	}
+	if vn.Addr%LineSize != 0 {
+		t.Error("VirtName not line aligned")
+	}
+	// Homonym protection: same VA, different ASID => different names.
+	if vn == VirtName(b, va) {
+		t.Error("names for different ASIDs compare equal (homonym bug)")
+	}
+	// Same line, different offsets => same name.
+	if vn != VirtName(a, va+1) {
+		t.Error("names within one line differ")
+	}
+
+	pn := PhysName(PA(0x2000_0040))
+	if !pn.Synonym {
+		t.Error("PhysName produced non-synonym name")
+	}
+	// A physical name never equals a virtual name even with matching bits.
+	if pn == (Name{ASID: pn.ASID, Addr: pn.Addr}) {
+		t.Error("synonym bit not part of identity")
+	}
+}
+
+func TestNameSamePage(t *testing.T) {
+	a := MakeASID(0, 1)
+	n1 := VirtName(a, 0x5000)
+	n2 := VirtName(a, 0x5fc0)
+	n3 := VirtName(a, 0x6000)
+	if !n1.SamePage(n2) {
+		t.Error("same-page names reported different")
+	}
+	if n1.SamePage(n3) {
+		t.Error("different pages reported same")
+	}
+	if n1.SamePage(PhysName(PA(0x5000))) {
+		t.Error("virtual and physical names reported same page")
+	}
+}
+
+func TestNameString(t *testing.T) {
+	if PhysName(0x40).String() != "P:0x40" {
+		t.Errorf("PhysName string = %q", PhysName(0x40).String())
+	}
+	if VirtName(MakeASID(0, 1), 0x40).String() == "" {
+		t.Error("VirtName string empty")
+	}
+}

@@ -1,0 +1,297 @@
+package baseline
+
+import (
+	"hybridvc/internal/addr"
+	"hybridvc/internal/cache"
+	"hybridvc/internal/core"
+	"hybridvc/internal/energy"
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/tlb"
+)
+
+// OVC models opportunistic virtual caching (the paper's closest prior
+// work): only the L1 is virtually addressed, and only for non-synonym
+// data; L2 and LLC remain physical, so every L1 miss still pays address
+// translation. It reduces TLB *energy* (the TLB is probed only on L1
+// misses and synonym accesses) but cannot reduce TLB *miss latency* the
+// way full-hierarchy delayed translation does — the comparison the
+// paper's Section II draws.
+//
+// The model is single-core: OVC's original coherence scheme (reverse
+// physical tags in the L1) is represented functionally by the single-name
+// discipline, not by a multi-core protocol.
+type OVC struct {
+	*core.Base
+	kernel *osmodel.Kernel
+	tlb    *tlb.TwoLevel
+
+	// L1VirtualHits counts L1 hits served without any translation.
+	L1VirtualHits stats.Counter
+	// L1MissTranslations counts TLB lookups caused by L1 misses.
+	L1MissTranslations stats.Counter
+}
+
+// NewOVC builds the OVC baseline; the hierarchy config must be single-core.
+func NewOVC(cfg Config, k *osmodel.Kernel) *OVC {
+	if cfg.Hier.NumCores != 1 {
+		panic("baseline: OVC model is single-core")
+	}
+	o := &OVC{
+		Base:   core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
+		kernel: k,
+		tlb:    tlb.NewTwoLevel(tlb.DefaultTwoLevelConfig()),
+	}
+	k.AttachSink(o)
+	return o
+}
+
+// Name implements core.MemSystem.
+func (o *OVC) Name() string { return "ovc" }
+
+// Energy implements core.MemSystem.
+func (o *OVC) Energy() *energy.Accumulator { return o.Acc }
+
+// Hierarchy implements core.MemSystem.
+func (o *OVC) Hierarchy() *cache.Hierarchy { return o.Hier }
+
+// l1For returns the L1 array used by the access kind.
+func (o *OVC) l1For(kind cache.AccessKind) *cache.Cache {
+	if kind == cache.Fetch {
+		return o.Hier.L1I(0)
+	}
+	return o.Hier.L1D(0)
+}
+
+// translate runs the two-level TLB + walk, charging energy and latency.
+func (o *OVC) translate(req core.Request) (addr.PA, addr.Perm, uint64, bool) {
+	o.Acc.Access(energy.L1TLB, 1)
+	tres := o.tlb.Lookup(req.Proc.ASID, req.VA.Page())
+	var lat uint64
+	if tres.Level == 0 {
+		o.Acc.Access(energy.L2TLB, 1)
+		lat += o.tlb.L2.Config().Latency
+		leaf, wlat, ok := o.timedWalk(req.Proc, req.VA.PageAligned())
+		lat += wlat
+		if !ok {
+			return 0, 0, lat, false
+		}
+		o.tlb.Insert(tlb.Entry{
+			ASID: req.Proc.ASID, VPN: req.VA.Page(), PFN: leaf.Frame,
+			Perm: leaf.Perm, Shared: leaf.Shared,
+		})
+		return leaf.PA(req.VA), leaf.Perm, lat, true
+	}
+	if tres.Level == 2 {
+		o.Acc.Access(energy.L2TLB, 1)
+		lat += o.tlb.L2.Config().Latency
+	}
+	return addr.FrameToPA(tres.Entry.PFN) + addr.PA(req.VA.PageOffset()),
+		tres.Entry.Perm, lat, true
+}
+
+// timedWalk fetches PTEs through the physical L2/LLC path (page walkers
+// bypass the L1).
+func (o *OVC) timedWalk(proc *osmodel.Process, va addr.VA) (core.WalkLeaf, uint64, bool) {
+	o.Acc.Access(energy.PageWalk, 1)
+	path, leaf, found := proc.PT.WalkPath(va)
+	var lat uint64
+	for _, slot := range path {
+		o.WalkSteps.Inc()
+		lat += o.physL2Access(cache.Read, slot, addr.PermRO)
+	}
+	if !found {
+		return core.WalkLeaf{}, lat, false
+	}
+	return core.WalkLeaf{Frame: leaf.Frame, Perm: leaf.Perm, Shared: leaf.Shared}, lat, true
+}
+
+// physL2Access runs the L2 -> LLC -> DRAM physical path (no L1), filling
+// on the way back and preserving inclusion manually.
+func (o *OVC) physL2Access(kind cache.AccessKind, pa addr.PA, perm addr.Perm) uint64 {
+	n := addr.PhysName(pa)
+	l2 := o.Hier.L2(0)
+	lat := l2.Config().HitLatency
+	if l := l2.Access(n); l != nil {
+		if kind == cache.Write {
+			l.State = cache.Modified
+		}
+		return lat
+	}
+	llc := o.Hier.LLC()
+	lat += llc.Config().HitLatency
+	if l := llc.Access(n); l == nil {
+		lat += o.DRAM.Access(pa)
+		if v, evicted := llc.Fill(n, cache.Exclusive, perm); evicted {
+			o.backInvalidate(v.Name)
+		}
+	}
+	st := cache.Exclusive
+	if kind == cache.Write {
+		st = cache.Modified
+	}
+	if v, evicted := l2.Fill(n, st, perm); evicted && v.Dirty {
+		if l := llc.Probe(v.Name); l != nil {
+			l.State = cache.Modified
+		}
+	}
+	return lat
+}
+
+// backInvalidate preserves LLC inclusion over the private levels.
+func (o *OVC) backInvalidate(n addr.Name) {
+	o.Hier.L1D(0).Invalidate(n)
+	o.Hier.L1I(0).Invalidate(n)
+	o.Hier.L2(0).Invalidate(n)
+	// Virtual L1 lines whose physical home left the LLC are tracked via
+	// the name they were filled under; OVC keeps a reverse physical tag
+	// for this. We model it by flushing matching virtual lines lazily on
+	// miss (functional effect: none, since data contents are not modeled
+	// and translations stay valid).
+}
+
+// Access implements core.MemSystem.
+func (o *OVC) Access(req core.Request) core.Result {
+	var res core.Result
+	l1 := o.l1For(req.Kind)
+
+	candidate := req.Proc.Filter.IsCandidate(req.VA)
+	if !candidate {
+		// Virtual L1 path: a hit needs no translation at all.
+		vname := addr.VirtName(req.Proc.ASID, req.VA)
+		res.Latency += l1.Config().HitLatency
+		if l := l1.Access(vname); l != nil {
+			if req.Kind == cache.Write {
+				if !l.Perm.AllowsWrite() {
+					fl, fixed := o.HandleFault(req.Proc, req.VA, true)
+					res.Latency += fl
+					res.Fault = true
+					if !fixed {
+						return res
+					}
+					return o.retry(req, res)
+				}
+				l.State = cache.Modified
+			}
+			o.L1VirtualHits.Inc()
+			res.HitLevel = 1
+			return res
+		}
+		// L1 miss: translate, then the physical outer hierarchy.
+		o.L1MissTranslations.Inc()
+		pa, perm, lat, ok := o.translate(req)
+		res.Latency += lat
+		if !ok {
+			fl, fixed := o.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
+			res.Latency += fl
+			res.Fault = true
+			if !fixed {
+				return res
+			}
+			return o.retry(req, res)
+		}
+		if req.Kind == cache.Write && !perm.AllowsWrite() {
+			fl, fixed := o.HandleFault(req.Proc, req.VA, true)
+			res.Latency += fl
+			res.Fault = true
+			if !fixed {
+				return res
+			}
+			return o.retry(req, res)
+		}
+		res.Latency += o.physL2Access(req.Kind, pa, perm)
+		st := cache.Exclusive
+		if req.Kind == cache.Write {
+			st = cache.Modified
+		}
+		if v, evicted := l1.Fill(vname, st, perm); evicted && v.Dirty && !v.Name.Synonym {
+			// A dirty virtual victim needs translation to write back.
+			o.Acc.Access(energy.L1TLB, 1)
+		}
+		return res
+	}
+
+	// Synonym candidate: conventional path, physical L1.
+	pa, perm, lat, ok := o.translate(req)
+	res.Latency += lat
+	if !ok {
+		fl, fixed := o.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
+		res.Latency += fl
+		res.Fault = true
+		if !fixed {
+			return res
+		}
+		return o.retry(req, res)
+	}
+	if req.Kind == cache.Write && !perm.AllowsWrite() {
+		fl, fixed := o.HandleFault(req.Proc, req.VA, true)
+		res.Latency += fl
+		res.Fault = true
+		if !fixed {
+			return res
+		}
+		return o.retry(req, res)
+	}
+	pname := addr.PhysName(pa)
+	res.Latency += l1.Config().HitLatency
+	if l := l1.Access(pname); l != nil {
+		if req.Kind == cache.Write {
+			l.State = cache.Modified
+		}
+		res.HitLevel = 1
+		return res
+	}
+	res.Latency += o.physL2Access(req.Kind, pa, perm)
+	st := cache.Exclusive
+	if req.Kind == cache.Write {
+		st = cache.Modified
+	}
+	l1.Fill(pname, st, perm)
+	return res
+}
+
+// retry re-executes the access once after a fault fixed the mapping.
+func (o *OVC) retry(req core.Request, res core.Result) core.Result {
+	r2 := o.Access(req)
+	res.Latency += r2.Latency
+	res.LLCMiss = r2.LLCMiss
+	res.HitLevel = r2.HitLevel
+	return res
+}
+
+// --- osmodel.ShootdownSink ---
+
+// TLBShootdown implements the sink.
+func (o *OVC) TLBShootdown(asid addr.ASID, vpn uint64) {
+	o.tlb.Shootdown(asid, vpn)
+}
+
+// FlushPage implements the sink; virtual L1 lines of the page flush too.
+func (o *OVC) FlushPage(page addr.Name) {
+	o.Hier.L1D(0).FlushPage(page)
+	o.Hier.L1I(0).FlushPage(page)
+	if page.Synonym {
+		o.Hier.L2(0).FlushPage(page)
+		o.Hier.LLC().FlushPage(page)
+	}
+}
+
+// SetPagePerm implements the sink.
+func (o *OVC) SetPagePerm(page addr.Name, perm addr.Perm) {
+	o.Hier.L1D(0).SetPagePerm(page, perm)
+	if !page.Synonym {
+		o.TLBShootdown(page.ASID, page.Page())
+	}
+}
+
+// FilterUpdate implements the sink.
+func (o *OVC) FilterUpdate(addr.ASID) {}
+
+// FlushASID implements the sink: virtual L1 lines and TLB entries of the
+// address space are removed.
+func (o *OVC) FlushASID(asid addr.ASID) {
+	o.tlb.FlushASID(asid)
+	match := func(n addr.Name) bool { return !n.Synonym && n.ASID == asid }
+	o.Hier.L1D(0).FlushMatching(match)
+	o.Hier.L1I(0).FlushMatching(match)
+}

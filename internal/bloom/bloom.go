@@ -1,0 +1,120 @@
+// Package bloom implements the 1K-bit Bloom filters used by the synonym
+// filter (Section III-B of the paper).
+//
+// Each filter hashes a granule number (the virtual address trimmed by the
+// filter's granularity) with two hash functions. A hash function partitions
+// the granule bits into two parts — one function by a 1:1 ratio, the other
+// by a 1:2 ratio — XOR-folds each part down to 5 bits, and concatenates the
+// two 5-bit results into a 10-bit filter index. A lookup reports a hit only
+// when every hashed bit is set, so the filter can report false positives but
+// never false negatives.
+package bloom
+
+import "fmt"
+
+// IndexBits is the width of a filter index produced by each hash function.
+const IndexBits = 10
+
+// FilterBits is the paper's filter size: 2^IndexBits = 1024 bits.
+const FilterBits = 1 << IndexBits
+
+// Filter is a Bloom filter over granule numbers.
+type Filter struct {
+	bits     [FilterBits / 64]uint64
+	inWidth  int // significant bits of the granule number
+	popCount int // number of set bits, for occupancy reporting
+}
+
+// New creates a filter for granule numbers of the given bit width
+// (e.g. 33 for VA[47:15] at 32 KiB granularity, 24 for VA[47:24] at 16 MiB).
+// It panics if width is not in (0, 64]; widths are fixed by the filter
+// configuration, so an invalid width is a programming error.
+func New(granuleBits int) *Filter {
+	if granuleBits <= 0 || granuleBits > 64 {
+		panic(fmt.Sprintf("bloom: invalid granule width %d", granuleBits))
+	}
+	return &Filter{inWidth: granuleBits}
+}
+
+// xorFold folds x down to width bits by XOR-ing successive width-bit chunks.
+func xorFold(x uint64, width int) uint64 {
+	mask := uint64(1)<<width - 1
+	var out uint64
+	for x != 0 {
+		out ^= x & mask
+		x >>= uint(width)
+	}
+	return out
+}
+
+// hash computes the 10-bit filter index for the hash function that assigns
+// the low `lowBits` of the granule to one partition and the rest to the
+// other. Each partition XOR-folds to 5 bits; the partitions concatenate.
+func (f *Filter) hash(granule uint64, lowBits int) uint64 {
+	granule &= uint64(1)<<f.inWidth - 1
+	low := granule & (uint64(1)<<lowBits - 1)
+	high := granule >> uint(lowBits)
+	return xorFold(high, IndexBits/2)<<(IndexBits/2) | xorFold(low, IndexBits/2)
+}
+
+// Indices returns the two filter indices for a granule: hash function 1
+// partitions the bits 1:1, hash function 2 partitions them 1:2.
+func (f *Filter) Indices(granule uint64) (i1, i2 uint64) {
+	return f.hash(granule, f.inWidth/2), f.hash(granule, f.inWidth/3)
+}
+
+// Insert sets the filter bits for the granule.
+func (f *Filter) Insert(granule uint64) {
+	i1, i2 := f.Indices(granule)
+	f.setBit(i1)
+	f.setBit(i2)
+}
+
+// Contains reports whether the granule may have been inserted. A false
+// return is definitive (no false negatives).
+func (f *Filter) Contains(granule uint64) bool {
+	i1, i2 := f.Indices(granule)
+	return f.bit(i1) && f.bit(i2)
+}
+
+// Clear resets the filter to empty. The OS clears filters at address space
+// creation and when rebuilding a filter that has accumulated stale bits.
+func (f *Filter) Clear() {
+	f.bits = [FilterBits / 64]uint64{}
+	f.popCount = 0
+}
+
+// Occupancy returns the fraction of filter bits that are set.
+func (f *Filter) Occupancy() float64 {
+	return float64(f.popCount) / FilterBits
+}
+
+// GranuleBits returns the configured granule width.
+func (f *Filter) GranuleBits() int { return f.inWidth }
+
+// Load copies another filter's contents into f. The hardware loads the two
+// OS-maintained filters into per-core filter storage on context switch; Load
+// models that copy. It panics on mismatched granule widths.
+func (f *Filter) Load(src *Filter) {
+	if src.inWidth != f.inWidth {
+		panic("bloom: loading filter with mismatched granularity")
+	}
+	f.bits = src.bits
+	f.popCount = src.popCount
+}
+
+// Words returns the filter contents as raw 64-bit words (for checkpointing
+// and for modelling the in-memory OS copy).
+func (f *Filter) Words() [FilterBits / 64]uint64 { return f.bits }
+
+func (f *Filter) setBit(i uint64) {
+	w, b := i/64, i%64
+	if f.bits[w]&(1<<b) == 0 {
+		f.bits[w] |= 1 << b
+		f.popCount++
+	}
+}
+
+func (f *Filter) bit(i uint64) bool {
+	return f.bits[i/64]&(1<<(i%64)) != 0
+}

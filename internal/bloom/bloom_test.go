@@ -1,0 +1,249 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	// The defining Bloom filter property: every inserted granule must be
+	// found. This is the correctness guarantee the synonym filter relies on.
+	f := New(33)
+	rng := rand.New(rand.NewSource(1))
+	var inserted []uint64
+	for i := 0; i < 200; i++ {
+		g := rng.Uint64() & (1<<33 - 1)
+		f.Insert(g)
+		inserted = append(inserted, g)
+	}
+	for _, g := range inserted {
+		if !f.Contains(g) {
+			t.Fatalf("false negative for granule %#x", g)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	prop := func(granules []uint32) bool {
+		f := New(24)
+		for _, g := range granules {
+			f.Insert(uint64(g) & (1<<24 - 1))
+		}
+		for _, g := range granules {
+			if !f.Contains(uint64(g) & (1<<24 - 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(33)
+	for g := uint64(0); g < 1000; g++ {
+		if f.Contains(g * 977) {
+			t.Fatalf("empty filter claims to contain %#x", g*977)
+		}
+	}
+}
+
+func TestFalsePositiveRateModerate(t *testing.T) {
+	// With a handful of inserted synonym regions (the common case per
+	// Table I), false positives must be rare — the paper measures <0.5%
+	// of accesses. Test the filter in isolation with 16 inserted granules.
+	f := New(33)
+	rng := rand.New(rand.NewSource(7))
+	present := make(map[uint64]bool)
+	for i := 0; i < 16; i++ {
+		g := rng.Uint64() & (1<<33 - 1)
+		f.Insert(g)
+		present[g] = true
+	}
+	fp := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		g := rng.Uint64() & (1<<33 - 1)
+		if present[g] {
+			continue
+		}
+		if f.Contains(g) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.01 {
+		t.Errorf("false positive rate %.4f too high for 16 entries", rate)
+	}
+}
+
+func TestIndicesWithinRange(t *testing.T) {
+	prop := func(g uint64) bool {
+		f := New(33)
+		i1, i2 := f.Indices(g)
+		return i1 < FilterBits && i2 < FilterBits
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoHashFunctionsDiffer(t *testing.T) {
+	// The two hash functions partition differently (1:1 vs 1:2), so over
+	// many granules they must frequently produce different indices;
+	// otherwise the second function adds no filtering power.
+	f := New(33)
+	rng := rand.New(rand.NewSource(3))
+	differ := 0
+	for i := 0; i < 1000; i++ {
+		g := rng.Uint64() & (1<<33 - 1)
+		i1, i2 := f.Indices(g)
+		if i1 != i2 {
+			differ++
+		}
+	}
+	if differ < 900 {
+		t.Errorf("hash functions agree too often: differ on only %d/1000", differ)
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	f := New(24)
+	g := uint64(0xabcdef)
+	a1, a2 := f.Indices(g)
+	b1, b2 := f.Indices(g)
+	if a1 != b1 || a2 != b2 {
+		t.Error("Indices not deterministic")
+	}
+}
+
+func TestHashUsesAllInputBits(t *testing.T) {
+	// Flipping any single input bit must change at least one index —
+	// otherwise part of the address is ignored and distinct regions
+	// systematically collide.
+	f := New(33)
+	base := uint64(0x1_2345_6789) & (1<<33 - 1)
+	b1, b2 := f.Indices(base)
+	for bit := 0; bit < 33; bit++ {
+		g := base ^ (1 << bit)
+		i1, i2 := f.Indices(g)
+		if i1 == b1 && i2 == b2 {
+			t.Errorf("flipping bit %d leaves both indices unchanged", bit)
+		}
+	}
+}
+
+func TestClearAndOccupancy(t *testing.T) {
+	f := New(33)
+	if f.Occupancy() != 0 {
+		t.Error("new filter not empty")
+	}
+	f.Insert(42)
+	if f.Occupancy() <= 0 {
+		t.Error("occupancy did not grow")
+	}
+	if !f.Contains(42) {
+		t.Error("lost inserted granule")
+	}
+	f.Clear()
+	if f.Occupancy() != 0 || f.Contains(42) {
+		t.Error("Clear did not empty the filter")
+	}
+}
+
+func TestOccupancyCountsDistinctBits(t *testing.T) {
+	f := New(33)
+	f.Insert(42)
+	occ := f.Occupancy()
+	f.Insert(42) // same bits again
+	if f.Occupancy() != occ {
+		t.Error("reinserting changed occupancy")
+	}
+	if occ > 2.0/FilterBits+1e-12 {
+		t.Errorf("single insert set more than 2 bits: occupancy %f", occ)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	src := New(33)
+	src.Insert(7)
+	src.Insert(9)
+	dst := New(33)
+	dst.Load(src)
+	if !dst.Contains(7) || !dst.Contains(9) {
+		t.Error("Load lost contents")
+	}
+	if dst.Occupancy() != src.Occupancy() {
+		t.Error("Load occupancy mismatch")
+	}
+	// Load replaces prior contents.
+	dst2 := New(33)
+	dst2.Insert(1000)
+	dst2.Load(New(33))
+	if dst2.Contains(1000) {
+		t.Error("Load did not replace prior contents")
+	}
+}
+
+func TestLoadMismatchedWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Load with mismatched width did not panic")
+		}
+	}()
+	New(33).Load(New(24))
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestXorFold(t *testing.T) {
+	cases := []struct {
+		x     uint64
+		width int
+		want  uint64
+	}{
+		{0, 5, 0},
+		{0b11111, 5, 0b11111},
+		{0b11111_00000, 5, 0b11111},  // single high chunk
+		{0b00001_00001, 5, 0},        // chunks cancel
+		{0b00011_00001, 5, 0b00010},  // chunks xor
+		{^uint64(0), 64, ^uint64(0)}, // identity at full width
+		{0xff, 4, 0},                 // 0xf ^ 0xf
+		{0xf0f0f0f0f0f0f0f0, 8, 0},   // eight 0xf0 chunks cancel pairwise? 0xf0 xor'd 8 times = 0
+		{0x12345, 5, 0x12345&0x1f ^ (0x12345 >> 5 & 0x1f) ^ (0x12345 >> 10 & 0x1f) ^ (0x12345 >> 15 & 0x1f)},
+	}
+	for _, c := range cases {
+		if got := xorFold(c.x, c.width); got != c.want {
+			t.Errorf("xorFold(%#x, %d) = %#x, want %#x", c.x, c.width, got, c.want)
+		}
+	}
+}
+
+func TestWordsSnapshot(t *testing.T) {
+	f := New(33)
+	f.Insert(123456)
+	w := f.Words()
+	var set int
+	for _, word := range w {
+		for ; word != 0; word &= word - 1 {
+			set++
+		}
+	}
+	if set == 0 || set > 2 {
+		t.Errorf("Words snapshot has %d bits set, want 1 or 2", set)
+	}
+}

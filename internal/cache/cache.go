@@ -1,0 +1,264 @@
+// Package cache models the on-chip cache hierarchy of the hybrid virtual
+// caching design: set-associative write-back caches whose tags are extended
+// with a synonym bit, a 16-bit ASID, and 2 permission bits (Figure 2 of the
+// paper), so a block may be named either by physical address (synonym
+// blocks) or by ASID+VA (non-synonym blocks). Coherence between private
+// caches uses the same unified names, which is what removes the synonym
+// problem: every physical block has exactly one name in the hierarchy.
+package cache
+
+import (
+	"fmt"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/stats"
+)
+
+// State is a MESI coherence state for lines in private caches.
+type State uint8
+
+const (
+	// Invalid marks an empty or invalidated way.
+	Invalid State = iota
+	// Shared marks a clean copy that other caches may also hold.
+	Shared
+	// Exclusive marks a clean copy no other cache holds.
+	Exclusive
+	// Modified marks a dirty copy no other cache holds.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in statistics output.
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// HitLatency is the access latency in cycles.
+	HitLatency uint64
+}
+
+// Line is one cache way's bookkeeping: the extended tag of Figure 2.
+type Line struct {
+	Valid bool
+	Name  addr.Name
+	State State
+	Perm  addr.Perm
+	lru   uint64
+}
+
+// Dirty reports whether the line holds modified data.
+func (l *Line) Dirty() bool { return l.State == Modified }
+
+// Cache is one set-associative write-back cache level.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	setMask  uint64
+	tick     uint64
+	Stats    stats.HitMiss
+	Evicted  stats.Counter // lines evicted for capacity/conflict
+	WriteBks stats.Counter // dirty evictions
+}
+
+// New creates a cache. It panics on geometries that do not divide evenly;
+// cache shapes come from fixed experiment configurations.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid size/ways %d/%d", cfg.Name, cfg.SizeBytes, cfg.Ways))
+	}
+	lines := cfg.SizeBytes / addr.LineSize
+	if lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways))
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nsets))
+	}
+	sets := make([][]Line, nsets)
+	backing := make([]Line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1)}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+func (c *Cache) set(n addr.Name) []Line {
+	return c.sets[n.Line()&c.setMask]
+}
+
+// lookup returns the way holding n, or nil.
+func (c *Cache) lookup(n addr.Name) *Line {
+	set := c.set(n)
+	for i := range set {
+		if set[i].Valid && set[i].Name == n {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Probe reports whether n is present, without touching LRU or statistics.
+// Coherence snoops use Probe.
+func (c *Cache) Probe(n addr.Name) *Line { return c.lookup(n) }
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Name  addr.Name
+	Dirty bool
+}
+
+// Access looks up n, recording hit/miss statistics and updating LRU.
+// On a hit it returns (line, nil-victim-ok). It does not allocate; callers
+// Fill after resolving the miss so fill ordering matches the hierarchy.
+func (c *Cache) Access(n addr.Name) *Line {
+	c.tick++
+	l := c.lookup(n)
+	c.Stats.Record(l != nil)
+	if l != nil {
+		l.lru = c.tick
+	}
+	return l
+}
+
+// Fill allocates n with the given state and permission, returning any
+// displaced victim. Filling a name already present just updates it.
+func (c *Cache) Fill(n addr.Name, st State, perm addr.Perm) (Victim, bool) {
+	c.tick++
+	if l := c.lookup(n); l != nil {
+		l.State = st
+		l.Perm = perm
+		l.lru = c.tick
+		return Victim{}, false
+	}
+	set := c.set(n)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].Valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	var out Victim
+	evicted := false
+	if victim.Valid {
+		out = Victim{Name: victim.Name, Dirty: victim.Dirty()}
+		evicted = true
+		c.Evicted.Inc()
+		if out.Dirty {
+			c.WriteBks.Inc()
+		}
+	}
+	*victim = Line{Valid: true, Name: n, State: st, Perm: perm, lru: c.tick}
+	return out, evicted
+}
+
+// Invalidate removes n if present, returning whether it was dirty.
+func (c *Cache) Invalidate(n addr.Name) (wasDirty, wasPresent bool) {
+	if l := c.lookup(n); l != nil {
+		wasDirty = l.Dirty()
+		*l = Line{}
+		return wasDirty, true
+	}
+	return false, false
+}
+
+// Downgrade moves n to Shared (after a remote read snoop), returning whether
+// the line was dirty and had to supply data.
+func (c *Cache) Downgrade(n addr.Name) (wasDirty bool) {
+	if l := c.lookup(n); l != nil {
+		wasDirty = l.Dirty()
+		l.State = Shared
+	}
+	return wasDirty
+}
+
+// FlushMatching invalidates every line for which match returns true and
+// returns the number invalidated and how many were dirty. The OS uses this
+// for page remaps, synonym status changes, and permission revocations.
+func (c *Cache) FlushMatching(match func(addr.Name) bool) (flushed, dirty int) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.Valid && match(l.Name) {
+				if l.Dirty() {
+					dirty++
+				}
+				*l = Line{}
+				flushed++
+			}
+		}
+	}
+	return flushed, dirty
+}
+
+// FlushPage invalidates all lines of a page identified by a representative
+// name (ASID+virtual page for non-synonym, frame for synonym).
+func (c *Cache) FlushPage(page addr.Name) (flushed, dirty int) {
+	return c.FlushMatching(func(n addr.Name) bool { return n.SamePage(page) })
+}
+
+// SetPagePerm updates the permission bits of every cached line of a page —
+// the paper's mechanism for r/o content sharing (Section III-D): permission
+// changes update cached copies rather than flushing them.
+func (c *Cache) SetPagePerm(page addr.Name, perm addr.Perm) (updated int) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.Valid && l.Name.SamePage(page) {
+				l.Perm = perm
+				updated++
+			}
+		}
+	}
+	return updated
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachLine calls fn for every valid line (used by invariant checks).
+func (c *Cache) ForEachLine(fn func(*Line)) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].Valid {
+				fn(&c.sets[si][wi])
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridvc/internal/addr"
+)
+
+// refLRUSet is a reference model of one set: a slice ordered by recency.
+type refLRUSet struct {
+	names []addr.Name
+	ways  int
+}
+
+func (r *refLRUSet) touch(n addr.Name) bool {
+	for i, x := range r.names {
+		if x == n {
+			r.names = append(append(append([]addr.Name{}, r.names[:i]...), r.names[i+1:]...), n)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refLRUSet) fill(n addr.Name) (victim addr.Name, evicted bool) {
+	if r.touch(n) {
+		return addr.Name{}, false
+	}
+	if len(r.names) == r.ways {
+		victim, evicted = r.names[0], true
+		r.names = r.names[1:]
+	}
+	r.names = append(r.names, n)
+	return victim, evicted
+}
+
+// TestCacheMatchesLRUReference drives random access/fill traffic through
+// one cache set and a reference true-LRU model; hits, misses, and victims
+// must agree exactly.
+func TestCacheMatchesLRUReference(t *testing.T) {
+	const ways = 4
+	c := New(Config{Name: "ref", SizeBytes: ways * addr.LineSize, Ways: ways, HitLatency: 1})
+	ref := &refLRUSet{ways: ways}
+	rng := rand.New(rand.NewSource(21))
+	asid := addr.MakeASID(0, 1)
+	// 8 distinct lines over a 4-way set: plenty of evictions.
+	names := make([]addr.Name, 8)
+	for i := range names {
+		names[i] = addr.VirtName(asid, addr.VA(i*addr.LineSize))
+	}
+	for step := 0; step < 10000; step++ {
+		n := names[rng.Intn(len(names))]
+		if rng.Intn(2) == 0 {
+			got := c.Access(n) != nil
+			want := ref.touch(n)
+			if got != want {
+				t.Fatalf("step %d: access hit=%v want %v", step, got, want)
+			}
+		} else {
+			v, evicted := c.Fill(n, Exclusive, addr.PermRW)
+			rv, revicted := ref.fill(n)
+			if evicted != revicted || (evicted && v.Name != rv) {
+				t.Fatalf("step %d: victim %v(%v) want %v(%v)", step, v.Name, evicted, rv, revicted)
+			}
+		}
+	}
+}
+
+// TestCacheSetIndexingProperty: lines differing only above the set-index
+// bits always land in the same set; FlushMatching over everything empties
+// the cache.
+func TestCacheSetIndexingProperty(t *testing.T) {
+	f := func(lineA, lineB uint16) bool {
+		c := New(Config{Name: "p", SizeBytes: 4 << 10, Ways: 4, HitLatency: 1})
+		asid := addr.MakeASID(0, 1)
+		a := addr.VirtName(asid, addr.VA(lineA)*addr.LineSize)
+		b := addr.VirtName(asid, addr.VA(lineB)*addr.LineSize)
+		c.Fill(a, Exclusive, addr.PermRW)
+		c.Fill(b, Modified, addr.PermRW)
+		want := 2
+		if a == b {
+			want = 1
+		}
+		if c.Occupancy() != want {
+			return false
+		}
+		flushed, _ := c.FlushMatching(func(addr.Name) bool { return true })
+		return flushed == want && c.Occupancy() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyWritebackConservation: every dirty line eventually either
+// stays cached or appears in a writeback — no dirty data silently vanishes.
+func TestHierarchyWritebackConservation(t *testing.T) {
+	h := testHierarchy(1)
+	asid := addr.MakeASID(0, 1)
+	written := map[addr.Name]bool{}
+	writtenBack := map[addr.Name]bool{}
+	rng := rand.New(rand.NewSource(31))
+	for step := 0; step < 5000; step++ {
+		n := addr.VirtName(asid, addr.VA(rng.Intn(1024))*addr.LineSize)
+		kind := Read
+		if rng.Intn(3) == 0 {
+			kind = Write
+			written[n] = true
+		}
+		res := h.Access(0, kind, n, addr.PermRW)
+		for _, wb := range res.Writebacks {
+			writtenBack[wb] = true
+		}
+	}
+	// Each written line is either still cached somewhere (dirty or clean)
+	// or was written back.
+	for n := range written {
+		if writtenBack[n] {
+			continue
+		}
+		if h.LLC().Probe(n) != nil || h.L2(0).Probe(n) != nil || h.L1D(0).Probe(n) != nil {
+			continue
+		}
+		t.Fatalf("dirty line %v vanished without a writeback", n)
+	}
+}

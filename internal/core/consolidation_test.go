@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/cache"
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/virt"
+)
+
+// setupTwoVMs consolidates two VMs onto one (2-core) VirtHybridMMU.
+func setupTwoVMs(t *testing.T) (*VirtHybridMMU, *virt.Hypervisor, *virt.VM, *virt.VM) {
+	t.Helper()
+	hv := virt.NewHypervisor(4 << 30)
+	vmA, err := hv.NewVM(512<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmB, err := hv.NewVM(512<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultVirtHybridConfig(2)
+	cfg.Hier.L1D = cache.Config{Name: "L1D", SizeBytes: 1 << 10, Ways: 2, HitLatency: 4}
+	cfg.Hier.L2 = cache.Config{Name: "L2", SizeBytes: 4 << 10, Ways: 4, HitLatency: 6}
+	cfg.Hier.LLC = cache.Config{Name: "LLC", SizeBytes: 32 << 10, Ways: 8, HitLatency: 27}
+	m := NewVirtHybridMMU(cfg, vmA, hv)
+	m.AddVM(vmB)
+	return m, hv, vmA, vmB
+}
+
+func TestVMsCannotShareVirtualLines(t *testing.T) {
+	// Section V: "a VM cannot access virtually-addressed cachelines of
+	// another VM, since their ASIDs do not match." Two VMs map the same
+	// gVA; each caches under its own VMID-extended name.
+	m, _, vmA, vmB := setupTwoVMs(t)
+	pA, _ := vmA.Kernel.NewProcess()
+	pB, _ := vmB.Kernel.NewProcess()
+	gvaA, _ := pA.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
+	gvaB, _ := pB.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
+	if gvaA != gvaB {
+		t.Fatalf("setup: gVAs differ (%#x vs %#x)", uint64(gvaA), uint64(gvaB))
+	}
+	if pA.ASID == pB.ASID {
+		t.Fatal("cross-VM ASID collision")
+	}
+
+	r1 := m.Access(Request{Core: 0, Kind: cache.Write, VA: gvaA, Proc: pA})
+	if r1.Fault {
+		t.Fatal("fault")
+	}
+	// VM B's access to the same gVA must MISS (different ASID name) and
+	// resolve to a different machine address.
+	r2 := m.Access(Request{Core: 1, Kind: cache.Read, VA: gvaB, Proc: pB})
+	if !r2.LLCMiss {
+		t.Error("VM B hit VM A's virtually named line")
+	}
+	if m.Hier.LLC().Probe(addr.VirtName(pA.ASID, gvaA)) == nil ||
+		m.Hier.LLC().Probe(addr.VirtName(pB.ASID, gvaB)) == nil {
+		t.Error("per-VM lines not both cached")
+	}
+	// Machine addresses differ (separate host backings).
+	gpaA, _ := pA.PT.Translate(gvaA)
+	gpaB, _ := pB.PT.Translate(gvaB)
+	maA, _ := vmA.TranslateGPA(addr.GPA(gpaA))
+	maB, _ := vmB.TranslateGPA(addr.GPA(gpaB))
+	if maA == maB {
+		t.Error("distinct VMs share a machine frame without sharing")
+	}
+}
+
+func TestCrossVMHypervisorSharing(t *testing.T) {
+	// Hypervisor-induced sharing across VMs: one machine frame, two gVAs
+	// in two VMs. Both host filters flag; both cache physically; the
+	// second VM hits the first's physically named line.
+	m, hv, vmA, vmB := setupTwoVMs(t)
+	pA, _ := vmA.Kernel.NewProcess()
+	pB, _ := vmB.Kernel.NewProcess()
+	gvaA, _ := pA.Mmap(addr.PageSize, addr.PermRW, osmodel.MmapOpts{})
+	gvaB, _ := pB.Mmap(addr.PageSize, addr.PermRW, osmodel.MmapOpts{})
+	vmA.TrackProcessRegion(pA, gvaA, addr.PageSize)
+	vmB.TrackProcessRegion(pB, gvaB, addr.PageSize)
+	pteA, _ := pA.PT.Lookup(gvaA)
+	pteB, _ := pB.PT.Lookup(gvaB)
+	if err := hv.ShareGuestFrames(vmA, pteA.Frame, vmB, pteB.Frame); err != nil {
+		t.Fatal(err)
+	}
+
+	w := m.Access(Request{Core: 0, Kind: cache.Write, VA: gvaA, Proc: pA})
+	if w.Fault {
+		t.Fatal("fault on shared write")
+	}
+	r := m.Access(Request{Core: 1, Kind: cache.Read, VA: gvaB, Proc: pB})
+	if r.Fault {
+		t.Fatal("fault on shared read")
+	}
+	if r.LLCMiss {
+		t.Error("cross-VM shared data not found under its single machine name")
+	}
+	if m.TrueSynonymAccesses.Value() != 2 {
+		t.Errorf("true synonym accesses = %d, want 2", m.TrueSynonymAccesses.Value())
+	}
+}
+
+func TestConsolidatedDelayedTranslationIsPerVM(t *testing.T) {
+	// Each VM's delayed translation composes through its own guest
+	// segments and host segments.
+	m, _, vmA, vmB := setupTwoVMs(t)
+	pA, _ := vmA.Kernel.NewProcess()
+	pB, _ := vmB.Kernel.NewProcess()
+	gvaA, _ := pA.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
+	gvaB, _ := pB.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
+	maA, _, okA := m.delayed2D(pA, gvaA+0x40)
+	maB, _, okB := m.delayed2D(pB, gvaB+0x40)
+	if !okA || !okB {
+		t.Fatal("delayed translation failed")
+	}
+	gpaA, _ := pA.PT.Translate(gvaA + 0x40)
+	wantA, _ := vmA.TranslateGPA(addr.GPA(gpaA))
+	gpaB, _ := pB.PT.Translate(gvaB + 0x40)
+	wantB, _ := vmB.TranslateGPA(addr.GPA(gpaB))
+	if maA != wantA || maB != wantB {
+		t.Errorf("composition wrong: %#x/%#x want %#x/%#x",
+			uint64(maA), uint64(maB), uint64(wantA), uint64(wantB))
+	}
+	if maA == maB {
+		t.Error("two VMs' private data at one machine address")
+	}
+}

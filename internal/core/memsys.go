@@ -1,0 +1,152 @@
+// Package core implements the paper's primary contribution: the hybrid
+// virtual caching MMU. The entire cache hierarchy is virtually addressed
+// (ASID+VA) for non-synonym pages with translation delayed until LLC
+// misses (through a delayed TLB or the scalable many-segment translator),
+// while synonym candidates — detected by the Bloom-filter synonym filter —
+// take a conventional pre-L1 TLB path and are cached physically.
+//
+// The package also defines the MemSystem interface and shared plumbing
+// (physical access path, timed page walker) that the baseline
+// organizations in internal/baseline build on.
+package core
+
+import (
+	"hybridvc/internal/addr"
+	"hybridvc/internal/cache"
+	"hybridvc/internal/energy"
+	"hybridvc/internal/mem"
+	"hybridvc/internal/osmodel"
+	"hybridvc/internal/stats"
+)
+
+// Request is one memory reference presented to a memory system.
+type Request struct {
+	// Core is the issuing core index.
+	Core int
+	// Kind is Read, Write, or Fetch.
+	Kind cache.AccessKind
+	// VA is the (guest) virtual address.
+	VA addr.VA
+	// Proc is the issuing process.
+	Proc *osmodel.Process
+}
+
+// Result reports the outcome of a reference.
+type Result struct {
+	// Latency is the end-to-end memory access latency in cycles.
+	Latency uint64
+	// LLCMiss reports that the data came from DRAM.
+	LLCMiss bool
+	// HitLevel is the cache level that supplied the data (0 = memory).
+	HitLevel int
+	// Fault reports that the OS had to intervene (demand paging, CoW).
+	Fault bool
+}
+
+// MemSystem is a complete memory system organization: address translation
+// plus the cache hierarchy and DRAM.
+type MemSystem interface {
+	// Access performs one reference.
+	Access(req Request) Result
+	// Energy returns the translation-energy accumulator.
+	Energy() *energy.Accumulator
+	// Hierarchy exposes the cache hierarchy for statistics.
+	Hierarchy() *cache.Hierarchy
+	// Name identifies the organization in reports.
+	Name() string
+}
+
+// FaultLatency is the cycles charged for an OS fault handler invocation
+// (demand paging, CoW break, cold segment fill).
+const FaultLatency = 3000
+
+// Base bundles the pieces every memory system shares and the physical
+// access path they all use.
+type Base struct {
+	Hier *cache.Hierarchy
+	DRAM *mem.DRAM
+	Acc  *energy.Accumulator
+
+	// Faults counts OS interventions.
+	Faults stats.Counter
+	// WalkSteps counts PTE fetches issued by timed page walks.
+	WalkSteps stats.Counter
+}
+
+// NewBase builds the shared substrate.
+func NewBase(hcfg cache.HierarchyConfig, dcfg mem.DRAMConfig, model energy.Model) *Base {
+	return &Base{
+		Hier: cache.NewHierarchy(hcfg),
+		DRAM: mem.NewDRAM(dcfg),
+		Acc:  energy.NewAccumulator(model),
+	}
+}
+
+// PhysAccess performs a physically addressed access (synonym data, PTE
+// fetches, baseline data) through the hierarchy and DRAM, returning the
+// latency and whether the LLC missed.
+func (b *Base) PhysAccess(core int, kind cache.AccessKind, pa addr.PA, perm addr.Perm) (uint64, cache.AccessResult) {
+	res := b.Hier.Access(core, kind, addr.PhysName(pa), perm)
+	lat := res.Latency
+	if res.LLCMiss {
+		lat += b.DRAM.Access(pa)
+	}
+	// Physical writebacks need no translation; ignore res.Writebacks here.
+	return lat, res
+}
+
+// TimedWalk performs a hardware page walk for (proc, va), fetching each
+// PTE through the cache hierarchy (so large caches absorb walk traffic).
+// It returns the leaf, the total latency, and whether the walk succeeded.
+func (b *Base) TimedWalk(core int, proc *osmodel.Process, va addr.VA) (pte WalkLeaf, latency uint64, ok bool) {
+	b.Acc.Access(energy.PageWalk, 1)
+	path, leaf, found := proc.PT.WalkPath(va)
+	for _, slot := range path {
+		b.WalkSteps.Inc()
+		lat, _ := b.PhysAccess(core, cache.Read, slot, addr.PermRO)
+		latency += lat
+	}
+	if !found {
+		return WalkLeaf{}, latency, false
+	}
+	return WalkLeaf{
+		Frame:  leaf.Frame,
+		Perm:   leaf.Perm,
+		Shared: leaf.Shared,
+		Huge:   leaf.Huge,
+	}, latency, true
+}
+
+// WalkLeaf is the result of a page walk.
+type WalkLeaf struct {
+	Frame  uint64
+	Perm   addr.Perm
+	Shared bool
+	// Huge marks a 2 MiB leaf; Frame is then the 2 MiB-aligned frame.
+	Huge bool
+}
+
+// PA composes the leaf with the in-page offset.
+func (l WalkLeaf) PA(va addr.VA) addr.PA {
+	if l.Huge {
+		return addr.FrameToPA(l.Frame) + addr.PA(uint64(va)&(addr.HugePageSize-1))
+	}
+	return addr.FrameToPA(l.Frame) + addr.PA(va.PageOffset())
+}
+
+// FrameFor4K returns the 4 KiB frame backing va — for huge leaves this
+// "fractures" the mapping into the page-granular TLB entries real CPUs
+// install when a structure only supports 4 KiB translations.
+func (l WalkLeaf) FrameFor4K(va addr.VA) uint64 {
+	if !l.Huge {
+		return l.Frame
+	}
+	return l.Frame + (uint64(va)>>addr.PageBits)&(addr.HugePageSize/addr.PageSize-1)
+}
+
+// HandleFault invokes the OS fault handler and charges its latency.
+func (b *Base) HandleFault(proc *osmodel.Process, va addr.VA, isWrite bool) (uint64, bool) {
+	b.Faults.Inc()
+	ok := proc.HandleFault(va, isWrite)
+	return FaultLatency, ok
+}

@@ -1,0 +1,182 @@
+// Package cpu provides the OoO-lite timing model that stands in for the
+// paper's MARSSx86 out-of-order core (Table IV: 128-entry ROB, 80-entry
+// LSQ, 5-wide issue, 4-wide commit). The model dispatches instructions at
+// up to IssueWidth per cycle, bounds in-flight work by ROB and LSQ
+// occupancy, lets independent memory operations overlap (memory-level
+// parallelism), serializes dependent operations, and commits in order at
+// up to CommitWidth per cycle. It preserves the relative performance
+// orderings the paper reports while remaining deterministic and fast.
+package cpu
+
+import "fmt"
+
+// Config sets the core's structural parameters.
+type Config struct {
+	ROBSize     int
+	LSQSize     int
+	IssueWidth  int
+	CommitWidth int
+}
+
+// DefaultConfig returns the paper's Table IV core.
+func DefaultConfig() Config {
+	return Config{ROBSize: 128, LSQSize: 80, IssueWidth: 5, CommitWidth: 4}
+}
+
+// slotClock paces events at a bounded number per cycle.
+type slotClock struct {
+	width int
+	cycle uint64
+	used  int
+}
+
+// next returns the earliest cycle >= minCycle with a free slot and
+// consumes it.
+func (s *slotClock) next(minCycle uint64) uint64 {
+	if minCycle > s.cycle {
+		s.cycle = minCycle
+		s.used = 0
+	}
+	if s.used == s.width {
+		s.cycle++
+		s.used = 0
+	}
+	s.used++
+	return s.cycle
+}
+
+// Core is one timing core.
+type Core struct {
+	cfg Config
+
+	dispatch slotClock
+	commit   slotClock
+
+	// rob[i % ROBSize] holds the commit cycle of instruction i; dispatch
+	// of instruction i must wait for instruction i-ROBSize to commit.
+	rob []uint64
+	// lsq is the analogous ring for memory operations.
+	lsq     []uint64
+	memOps  uint64
+	retired uint64
+
+	lastCommit   uint64
+	lastComplete uint64 // completion cycle of the previous instruction
+
+	// memStall accumulates cycles by which memory operations pushed the
+	// commit point past the previous commit — an attribution of lost
+	// cycles to the memory system.
+	memStall uint64
+}
+
+// New creates a core; it panics on non-positive parameters (configurations
+// are fixed per experiment).
+func New(cfg Config) *Core {
+	if cfg.ROBSize <= 0 || cfg.LSQSize <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 {
+		panic(fmt.Sprintf("cpu: invalid config %+v", cfg))
+	}
+	return &Core{
+		cfg:      cfg,
+		dispatch: slotClock{width: cfg.IssueWidth},
+		commit:   slotClock{width: cfg.CommitWidth},
+		rob:      make([]uint64, cfg.ROBSize),
+		lsq:      make([]uint64, cfg.LSQSize),
+	}
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Now returns the core's notion of the current cycle: the dispatch clock,
+// which is where memory requests are issued from.
+func (c *Core) Now() uint64 { return c.dispatch.cycle }
+
+// MispredictPenalty is the pipeline refill cost of a mispredicted branch
+// (front-end redirect through rename, typical of a 14-19 stage pipeline).
+const MispredictPenalty = 14
+
+// Mispredict models a branch misprediction: dispatch stalls for the
+// pipeline refill after the branch resolves.
+func (c *Core) Mispredict() uint64 {
+	commit := c.Retire(1, true, false)
+	// Younger instructions cannot dispatch until the refill completes.
+	if resume := commit + MispredictPenalty; resume > c.dispatch.cycle {
+		c.dispatch.cycle = resume
+		c.dispatch.used = 0
+	}
+	return commit
+}
+
+// Retire advances the core by one instruction.
+//
+// latency is the instruction's execution latency: 1 for simple ALU work,
+// or the full memory latency for loads. dependsOnPrev serializes this
+// instruction behind the previous one's completion (pointer chasing).
+// isMem marks loads/stores, which additionally occupy an LSQ slot.
+//
+// It returns the instruction's commit cycle.
+func (c *Core) Retire(latency uint64, dependsOnPrev, isMem bool) uint64 {
+	// Dispatch: wait for a ROB slot (instruction i-ROBSize committed) and
+	// an issue slot; memory operations also wait for an LSQ slot.
+	minCycle := c.rob[c.retired%uint64(c.cfg.ROBSize)]
+	if isMem {
+		if prev := c.lsq[c.memOps%uint64(c.cfg.LSQSize)]; prev > minCycle {
+			minCycle = prev
+		}
+	}
+	disp := c.dispatch.next(minCycle)
+
+	// Execute: dependent instructions wait for the previous completion.
+	start := disp
+	if dependsOnPrev && c.lastComplete > start {
+		start = c.lastComplete
+	}
+	complete := start + latency
+	c.lastComplete = complete
+
+	// Commit: in order, bounded per cycle.
+	minCommit := complete
+	if c.lastCommit > minCommit {
+		minCommit = c.lastCommit
+	}
+	commit := c.commit.next(minCommit)
+	c.lastCommit = commit
+
+	c.rob[c.retired%uint64(c.cfg.ROBSize)] = commit
+	c.retired++
+	if isMem {
+		c.lsq[c.memOps%uint64(c.cfg.LSQSize)] = commit
+		c.memOps++
+		if latency > 1 && commit > c.lastCommitBeforeThis() {
+			c.memStall += commit - c.lastCommitBeforeThis()
+		}
+	}
+	return commit
+}
+
+// lastCommitBeforeThis returns the commit cycle preceding the instruction
+// just retired (for stall attribution).
+func (c *Core) lastCommitBeforeThis() uint64 {
+	if c.retired < 2 {
+		return 0
+	}
+	return c.rob[(c.retired-2)%uint64(c.cfg.ROBSize)]
+}
+
+// MemStallCycles estimates cycles by which long-latency memory operations
+// delayed commit — a coarse memory-boundedness attribution.
+func (c *Core) MemStallCycles() uint64 { return c.memStall }
+
+// Cycles returns the total cycles elapsed (the last commit cycle).
+func (c *Core) Cycles() uint64 { return c.lastCommit }
+
+// Retired returns the number of instructions retired.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.lastCommit == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(c.lastCommit)
+}

@@ -1,0 +1,208 @@
+package cpu
+
+import "testing"
+
+func TestALUThroughputBoundedByCommitWidth(t *testing.T) {
+	c := New(DefaultConfig())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c.Retire(1, false, false)
+	}
+	ipc := c.IPC()
+	if ipc > float64(c.Config().CommitWidth)+0.01 {
+		t.Errorf("IPC %.2f exceeds commit width", ipc)
+	}
+	if ipc < float64(c.Config().CommitWidth)-0.1 {
+		t.Errorf("IPC %.2f well below commit width for pure ALU", ipc)
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// Independent 200-cycle loads must overlap within the ROB window:
+	// throughput should approach one load per few cycles, far better than
+	// 200 cycles each.
+	c := New(DefaultConfig())
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c.Retire(200, false, true)
+	}
+	perLoad := float64(c.Cycles()) / n
+	if perLoad > 20 {
+		t.Errorf("independent loads cost %.1f cycles each; no MLP", perLoad)
+	}
+}
+
+func TestDependentMissesSerialize(t *testing.T) {
+	// Pointer chasing: each load depends on the previous one, so the
+	// total must be ~n*latency.
+	c := New(DefaultConfig())
+	const n, lat = 1000, 200
+	for i := 0; i < n; i++ {
+		c.Retire(lat, true, true)
+	}
+	if c.Cycles() < n*lat {
+		t.Errorf("dependent loads took %d cycles, want >= %d", c.Cycles(), n*lat)
+	}
+	if c.Cycles() > n*lat+n*5 {
+		t.Errorf("dependent loads took %d cycles, way over serial bound", c.Cycles())
+	}
+}
+
+func TestLatencySensitivity(t *testing.T) {
+	// Same instruction mix with slower memory must take longer — the
+	// property every experiment relies on.
+	run := func(lat uint64) uint64 {
+		c := New(DefaultConfig())
+		for i := 0; i < 5000; i++ {
+			if i%3 == 0 {
+				c.Retire(lat, i%6 == 0, true)
+			} else {
+				c.Retire(1, false, false)
+			}
+		}
+		return c.Cycles()
+	}
+	fast, slow := run(10), run(300)
+	if slow <= fast {
+		t.Errorf("300-cycle memory (%d cycles) not slower than 10-cycle (%d)", slow, fast)
+	}
+}
+
+func TestROBLimitsOverlap(t *testing.T) {
+	// A tiny ROB must expose memory latency that a large ROB hides.
+	run := func(rob int) uint64 {
+		cfg := DefaultConfig()
+		cfg.ROBSize = rob
+		if cfg.LSQSize > rob {
+			cfg.LSQSize = rob
+		}
+		c := New(cfg)
+		for i := 0; i < 5000; i++ {
+			c.Retire(200, false, true)
+		}
+		return c.Cycles()
+	}
+	small, large := run(4), run(256)
+	if small <= large {
+		t.Errorf("ROB=4 (%d cycles) not slower than ROB=256 (%d)", small, large)
+	}
+	if float64(small) < 2*float64(large) {
+		t.Errorf("ROB effect too weak: %d vs %d", small, large)
+	}
+}
+
+func TestLSQLimitsMemoryOverlap(t *testing.T) {
+	run := func(lsq int) uint64 {
+		cfg := DefaultConfig()
+		cfg.LSQSize = lsq
+		cfg.ROBSize = 512
+		c := New(cfg)
+		for i := 0; i < 5000; i++ {
+			c.Retire(200, false, true)
+		}
+		return c.Cycles()
+	}
+	small, large := run(2), run(256)
+	if small <= large {
+		t.Errorf("LSQ=2 (%d) not slower than LSQ=256 (%d)", small, large)
+	}
+}
+
+func TestCommitMonotonic(t *testing.T) {
+	c := New(DefaultConfig())
+	var prev uint64
+	for i := 0; i < 1000; i++ {
+		lat := uint64(1)
+		if i%7 == 0 {
+			lat = 50
+		}
+		commit := c.Retire(lat, i%3 == 0, i%2 == 0)
+		if commit < prev {
+			t.Fatalf("commit went backwards: %d after %d", commit, prev)
+		}
+		prev = commit
+	}
+	if c.Retired() != 1000 {
+		t.Errorf("retired = %d", c.Retired())
+	}
+	if c.Cycles() != prev {
+		t.Errorf("Cycles() = %d, last commit = %d", c.Cycles(), prev)
+	}
+}
+
+func TestMemStallAttribution(t *testing.T) {
+	alu := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		alu.Retire(1, false, false)
+	}
+	if alu.MemStallCycles() != 0 {
+		t.Errorf("ALU-only core reports %d memory stall cycles", alu.MemStallCycles())
+	}
+	chase := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		chase.Retire(200, true, true)
+	}
+	frac := float64(chase.MemStallCycles()) / float64(chase.Cycles())
+	if frac < 0.9 {
+		t.Errorf("pointer chase memory stall fraction %.2f, want ~1", frac)
+	}
+}
+
+func TestIPCEmptyCore(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.IPC() != 0 {
+		t.Error("empty core has nonzero IPC")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	New(Config{ROBSize: 0, LSQSize: 1, IssueWidth: 1, CommitWidth: 1})
+}
+
+func TestSlotClockPacing(t *testing.T) {
+	s := slotClock{width: 2}
+	got := []uint64{s.next(0), s.next(0), s.next(0), s.next(0), s.next(0)}
+	want := []uint64{0, 0, 1, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Jumping forward resets the per-cycle count.
+	if c := s.next(10); c != 10 {
+		t.Errorf("jump slot = %d", c)
+	}
+	if c := s.next(5); c != 10 {
+		t.Errorf("past-min slot = %d, want 10", c)
+	}
+}
+
+func TestMispredictStallsDispatch(t *testing.T) {
+	// A stream with mispredicts must run at lower IPC than without.
+	clean := New(DefaultConfig())
+	for i := 0; i < 10000; i++ {
+		clean.Retire(1, false, false)
+	}
+	dirty := New(DefaultConfig())
+	for i := 0; i < 10000; i++ {
+		if i%100 == 0 {
+			dirty.Mispredict()
+		} else {
+			dirty.Retire(1, false, false)
+		}
+	}
+	if dirty.Cycles() <= clean.Cycles() {
+		t.Errorf("mispredicts free: %d vs %d cycles", dirty.Cycles(), clean.Cycles())
+	}
+	// Each mispredict costs roughly the refill penalty.
+	extra := dirty.Cycles() - clean.Cycles()
+	perMiss := float64(extra) / 100
+	if perMiss < float64(MispredictPenalty)/2 || perMiss > float64(MispredictPenalty)*2 {
+		t.Errorf("per-mispredict cost %.1f, want ~%d", perMiss, MispredictPenalty)
+	}
+}

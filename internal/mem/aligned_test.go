@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridvc/internal/addr"
+)
+
+func TestAllocContiguousAlignedBasic(t *testing.T) {
+	a := NewAllocator(1024 * addr.PageSize)
+	// Misalign the pool: take 3 frames first.
+	a.AllocContiguous(3)
+	pa, ok := a.AllocContiguousAligned(512, 512)
+	if !ok {
+		t.Fatal("aligned alloc failed")
+	}
+	if pa.Frame()%512 != 0 {
+		t.Fatalf("start frame %d not 512-aligned", pa.Frame())
+	}
+	// The unaligned head gap [3, 512) must remain allocatable.
+	if gap, ok := a.AllocContiguous(509); !ok || gap != addr.FrameToPA(3) {
+		t.Errorf("head gap lost: %#x ok=%v", uint64(gap), ok)
+	}
+}
+
+func TestAllocContiguousAlignedEdges(t *testing.T) {
+	a := NewAllocator(64 * addr.PageSize)
+	if _, ok := a.AllocContiguousAligned(0, 8); ok {
+		t.Error("zero-frame aligned alloc succeeded")
+	}
+	if _, ok := a.AllocContiguousAligned(8, 0); ok {
+		t.Error("zero-alignment alloc succeeded")
+	}
+	if _, ok := a.AllocContiguousAligned(128, 8); ok {
+		t.Error("oversized aligned alloc succeeded")
+	}
+	// Exact fit from frame 0.
+	pa, ok := a.AllocContiguousAligned(64, 8)
+	if !ok || pa != 0 {
+		t.Fatalf("exact fit: %#x ok=%v", uint64(pa), ok)
+	}
+	if a.FreeFrames() != 0 {
+		t.Error("frames unaccounted")
+	}
+	a.Free(pa, 64)
+	if a.FreeFrames() != 64 || a.NumFreeExtents() != 1 {
+		t.Error("free after aligned alloc broken")
+	}
+}
+
+func TestAllocAlignedRandomizedConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := NewAllocator(4096 * addr.PageSize)
+	type alloc struct {
+		pa addr.PA
+		n  uint64
+	}
+	var live []alloc
+	owner := map[uint64]bool{}
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			n := uint64(rng.Intn(32) + 1)
+			align := uint64(1) << uint(rng.Intn(6)) // 1..32
+			var pa addr.PA
+			var ok bool
+			if rng.Intn(2) == 0 {
+				pa, ok = a.AllocContiguousAligned(n, align)
+				if ok && pa.Frame()%align != 0 {
+					t.Fatalf("unaligned result: frame %d align %d", pa.Frame(), align)
+				}
+			} else {
+				pa, ok = a.AllocContiguous(n)
+			}
+			if !ok {
+				continue
+			}
+			for f := pa.Frame(); f < pa.Frame()+n; f++ {
+				if owner[f] {
+					t.Fatalf("double allocation of frame %d", f)
+				}
+				owner[f] = true
+			}
+			live = append(live, alloc{pa, n})
+		} else {
+			i := rng.Intn(len(live))
+			al := live[i]
+			a.Free(al.pa, al.n)
+			for f := al.pa.Frame(); f < al.pa.Frame()+al.n; f++ {
+				delete(owner, f)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if a.AllocatedFrames() != uint64(len(owner)) {
+			t.Fatalf("step %d: allocated %d tracked %d", step, a.AllocatedFrames(), len(owner))
+		}
+	}
+}

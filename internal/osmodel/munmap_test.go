@@ -1,0 +1,166 @@
+package osmodel
+
+import (
+	"testing"
+
+	"hybridvc/internal/addr"
+)
+
+func TestMunmapEagerRegion(t *testing.T) {
+	k := newKernel(t)
+	sink := &recordingSink{}
+	k.AttachSink(sink)
+	free0 := k.Alloc.FreeFrames()
+	p, _ := k.NewProcess()
+	va, _ := p.Mmap(16*addr.PageSize, addr.PermRW, MmapOpts{})
+	used := k.Alloc.FreeFrames()
+	if used == free0 {
+		t.Fatal("mmap allocated nothing")
+	}
+	if err := k.Munmap(p, va); err != nil {
+		t.Fatal(err)
+	}
+	// Pages unmapped, segments freed, frames returned (page tables keep
+	// their intermediate frames, which Exit reclaims).
+	if _, ok := p.PT.Lookup(va); ok {
+		t.Error("page survived munmap")
+	}
+	if k.SegMgr.Table.Used() != 0 {
+		t.Error("segment leaked")
+	}
+	if len(sink.flushedPages) != 16 || len(sink.shootdowns) != 16 {
+		t.Errorf("flushes=%d shootdowns=%d, want 16,16",
+			len(sink.flushedPages), len(sink.shootdowns))
+	}
+	if p.FindRegion(va) != nil {
+		t.Error("region still registered")
+	}
+	// The freed VA must not be reported as a valid fault target.
+	if p.HandleFault(va, false) {
+		t.Error("fault on unmapped region accepted")
+	}
+	if err := k.Munmap(p, va); err == nil {
+		t.Error("double munmap succeeded")
+	}
+}
+
+func TestMunmapDemandRegionFreesTouchedFrames(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	free0 := k.Alloc.FreeFrames()
+	va, _ := p.Mmap(16*addr.PageSize, addr.PermRW, MmapOpts{Demand: true})
+	// Touch 4 of 16 pages.
+	for i := 0; i < 4; i++ {
+		p.HandleFault(va+addr.VA(i*addr.PageSize), false)
+	}
+	if err := k.Munmap(p, va); err != nil {
+		t.Fatal(err)
+	}
+	// Page-table intermediate frames remain until Exit; data frames and
+	// the untouched tail cost nothing.
+	leaked := free0 - k.Alloc.FreeFrames()
+	if leaked > 3 { // at most the PT intermediate pages
+		t.Errorf("leaked %d frames", leaked)
+	}
+}
+
+func TestMunmapHugeRegion(t *testing.T) {
+	k := newKernel(t)
+	sink := &recordingSink{}
+	k.AttachSink(sink)
+	p, _ := k.NewProcess()
+	va, err := p.Mmap(4<<20, addr.PermRW, MmapOpts{HugePages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Munmap(p, va); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.PT.Lookup(va); ok {
+		t.Error("huge mapping survived")
+	}
+	if _, ok := p.PT.Lookup(va + addr.HugePageSize); ok {
+		t.Error("second huge mapping survived")
+	}
+	// One flush+shootdown per 2 MiB mapping, not per 4 KiB page.
+	if len(sink.shootdowns) != 2 {
+		t.Errorf("shootdowns = %d, want 2", len(sink.shootdowns))
+	}
+	if k.SegMgr.Table.Used() != 0 {
+		t.Error("segment leaked")
+	}
+}
+
+func TestMunmapReservedRegion(t *testing.T) {
+	k := newKernel(t)
+	free0 := k.Alloc.FreeFrames()
+	p, _ := k.NewProcess()
+	va, _ := p.MmapReserved(4*chunkBytes, addr.PermRW)
+	p.HandleFault(va, false)
+	p.HandleFault(va+2*chunkBytes, false)
+	if err := k.Munmap(p, va); err != nil {
+		t.Fatal(err)
+	}
+	// Only page-table frames (reclaimed at Exit) may remain outstanding.
+	leaked := int(free0 - k.Alloc.FreeFrames())
+	if leaked > p.PT.FramesUsed {
+		t.Errorf("leaked %d frames beyond the %d table frames", leaked, p.PT.FramesUsed)
+	}
+	if k.SegMgr.Table.Used() != 0 {
+		t.Error("promoted segments leaked")
+	}
+}
+
+func TestExitFlushesASID(t *testing.T) {
+	k := newKernel(t)
+	sink := &recordingSink{}
+	k.AttachSink(sink)
+	p, _ := k.NewProcess()
+	asid := p.ASID
+	p.Mmap(addr.PageSize, addr.PermRW, MmapOpts{})
+	k.Exit(p)
+	found := false
+	for _, a := range sink.flushedASIDs {
+		if a == asid {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Exit did not flush the ASID")
+	}
+}
+
+func TestSharedExtentRefcounting(t *testing.T) {
+	k := newKernel(t)
+	free0 := k.Alloc.FreeFrames()
+	p1, _ := k.NewProcess()
+	p2, _ := k.NewProcess()
+	vas, err := k.ShareAnonymous([]*Process{p1, p2}, 16*addr.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmapping one process's view keeps the frames alive for the other.
+	if err := k.Munmap(p1, vas[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p2.PT.Translate(vas[1]); !ok {
+		t.Fatal("second mapping broken by first unmap")
+	}
+	// Exiting the second process drops the last reference.
+	k.Exit(p2)
+	k.Exit(p1)
+	if k.Alloc.FreeFrames() != free0 {
+		t.Errorf("shared frames leaked: %d -> %d", free0, k.Alloc.FreeFrames())
+	}
+}
+
+func TestSharedExtentDoubleUnmapSafe(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	vas, _ := k.ShareAnonymous([]*Process{p}, 8*addr.PageSize)
+	if err := k.Munmap(p, vas[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The extent is gone; a second release via Exit must not double-free.
+	k.Exit(p)
+}

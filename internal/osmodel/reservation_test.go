@@ -1,0 +1,173 @@
+package osmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridvc/internal/addr"
+)
+
+const chunkBytes = ReserveChunkPages * addr.PageSize
+
+func TestMmapReservedDefersBacking(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	va, err := p.MmapReserved(8*chunkBytes, addr.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physical extent is reserved immediately...
+	if k.Alloc.AllocatedFrames() < 8*ReserveChunkPages {
+		t.Error("reservation did not allocate the extent")
+	}
+	// ...but nothing is mapped or in the segment table yet.
+	if _, ok := p.PT.Lookup(va); ok {
+		t.Error("page mapped before touch")
+	}
+	if k.SegMgr.Table.Used() != 0 {
+		t.Error("segments created before touch")
+	}
+	if u := p.ReservedUtilization(); u != 0 {
+		t.Errorf("utilization = %f before any touch", u)
+	}
+}
+
+func TestReservationPromotionOnFault(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	va, _ := p.MmapReserved(8*chunkBytes, addr.PermRW)
+	if !p.HandleFault(va+0x123, false) {
+		t.Fatal("fault on reserved chunk rejected")
+	}
+	// The whole chunk is mapped; the next chunk is not.
+	if _, ok := p.PT.Lookup(va + chunkBytes - addr.PageSize); !ok {
+		t.Error("tail of promoted chunk unmapped")
+	}
+	if _, ok := p.PT.Lookup(va + chunkBytes); ok {
+		t.Error("next chunk mapped")
+	}
+	if k.SegMgr.Table.Used() != 1 {
+		t.Fatalf("segments = %d, want 1", k.SegMgr.Table.Used())
+	}
+	// Translation consistency: PT and segment agree.
+	seg, ok := k.SegMgr.LookupSoft(p.ASID, va+0x123)
+	if !ok {
+		t.Fatal("segment lookup failed")
+	}
+	paPT, _ := p.PT.Translate(va + 0x123)
+	if seg.Translate(va+0x123) != paPT {
+		t.Error("segment and page table disagree")
+	}
+	// A spurious second fault on the same chunk is rejected.
+	if p.HandleFault(va+0x200, false) {
+		t.Error("second fault on promoted chunk accepted")
+	}
+}
+
+func TestReservationAdjacentChunksMerge(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	va, _ := p.MmapReserved(8*chunkBytes, addr.PermRW)
+	// Touch chunks 0, 2, then 1: the three must merge into one segment.
+	p.HandleFault(va, false)
+	p.HandleFault(va+2*chunkBytes, false)
+	if k.SegMgr.Table.Used() != 2 {
+		t.Fatalf("segments = %d, want 2 before merge", k.SegMgr.Table.Used())
+	}
+	p.HandleFault(va+1*chunkBytes, false)
+	if k.SegMgr.Table.Used() != 1 {
+		t.Fatalf("segments = %d, want 1 after merge", k.SegMgr.Table.Used())
+	}
+	seg, _ := k.SegMgr.LookupSoft(p.ASID, va)
+	if seg.Length != 3*chunkBytes {
+		t.Errorf("merged length = %#x, want %#x", seg.Length, uint64(3*chunkBytes))
+	}
+	// Every promoted address resolves through the single segment.
+	for off := uint64(0); off < 3*chunkBytes; off += addr.PageSize {
+		a := va + addr.VA(off)
+		s, ok := k.SegMgr.LookupSoft(p.ASID, a)
+		if !ok || s != seg {
+			t.Fatalf("address %#x not covered by merged segment", uint64(a))
+		}
+		paPT, _ := p.PT.Translate(a)
+		if s.Translate(a) != paPT {
+			t.Fatalf("translation mismatch at %#x", uint64(a))
+		}
+	}
+	if u := p.ReservedUtilization(); u != 3.0/8.0 {
+		t.Errorf("utilization = %f, want 0.375", u)
+	}
+}
+
+func TestReservationFullTouchConvergesToOneSegment(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	const chunks = 16
+	va, _ := p.MmapReserved(chunks*chunkBytes, addr.PermRW)
+	// Touch all chunks in random order.
+	order := rand.New(rand.NewSource(5)).Perm(chunks)
+	for _, ci := range order {
+		p.HandleFault(va+addr.VA(uint64(ci)*chunkBytes), false)
+	}
+	if k.SegMgr.Table.Used() != 1 {
+		t.Fatalf("segments = %d, want 1 after full touch", k.SegMgr.Table.Used())
+	}
+	if u := p.ReservedUtilization(); u != 1.0 {
+		t.Errorf("utilization = %f, want 1", u)
+	}
+}
+
+func TestReservationRoundsToChunks(t *testing.T) {
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	va, err := p.MmapReserved(chunkBytes+1, addr.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.FindRegion(va)
+	if r.Length != 2*chunkBytes {
+		t.Errorf("length = %#x, want two chunks", r.Length)
+	}
+	if uint64(va)%chunkBytes != 0 {
+		t.Error("reservation not chunk aligned")
+	}
+	if _, err := p.MmapReserved(0, addr.PermRW); err == nil {
+		t.Error("zero-length reservation accepted")
+	}
+}
+
+func TestReservationExitReleasesEverything(t *testing.T) {
+	k := newKernel(t)
+	free0 := k.Alloc.FreeFrames()
+	p, _ := k.NewProcess()
+	va, _ := p.MmapReserved(8*chunkBytes, addr.PermRW)
+	p.HandleFault(va, false)
+	p.HandleFault(va+3*chunkBytes, false)
+	k.Exit(p)
+	if k.Alloc.FreeFrames() != free0 {
+		t.Errorf("frames leaked: %d -> %d", free0, k.Alloc.FreeFrames())
+	}
+	if k.SegMgr.Table.Used() != 0 {
+		t.Errorf("segments leaked: %d", k.SegMgr.Table.Used())
+	}
+}
+
+func TestReservationVsEagerSegmentCounts(t *testing.T) {
+	// The Section IV-B trade-off: for a sparsely used region, eager
+	// allocation wastes memory mappings while reservations track use; for
+	// dense use both converge to one segment but the reservation
+	// transiently used more table entries.
+	k := newKernel(t)
+	p, _ := k.NewProcess()
+	va, _ := p.MmapReserved(32*chunkBytes, addr.PermRW)
+	// Sparse: touch every fourth chunk.
+	for ci := 0; ci < 32; ci += 4 {
+		p.HandleFault(va+addr.VA(uint64(ci)*chunkBytes), false)
+	}
+	if got := k.SegMgr.Table.Used(); got != 8 {
+		t.Errorf("sparse promoted segments = %d, want 8", got)
+	}
+	if u := p.ReservedUtilization(); u != 0.25 {
+		t.Errorf("utilization = %f, want 0.25", u)
+	}
+}

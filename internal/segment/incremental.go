@@ -1,0 +1,170 @@
+package segment
+
+import "fmt"
+
+// Incremental index tree maintenance. Build constructs a perfectly packed
+// tree, but a real OS inserts and deletes segments in place: node
+// addresses stay stable (so the index cache keeps its contents, unlike a
+// rebuild) and nodes run at a ~2/3 fill factor after splits — which makes
+// the tree larger than a packed one, the effect behind the paper's 75.5%
+// worst-case figure for 2048 segments in a 32 KiB index cache.
+
+// Insert adds one entry in place, splitting full nodes top-down as B-trees
+// do. It returns an error on a duplicate key. An empty tree gets a root.
+func (t *IndexTree) Insert(e TreeEntry) error {
+	if t.root == nil {
+		n := &node{leaf: true, keys: []Key{e.Key}, values: []ID{e.Value}}
+		pa, err := t.arena.newNodePA()
+		if err != nil {
+			return err
+		}
+		n.pa = pa
+		t.root = n
+		t.depth = 1
+		t.count = 1
+		return nil
+	}
+	// Split a full root first so descent always has room to push into.
+	if len(t.root.keys) == NodeKeys {
+		left := t.root
+		right, sep, err := t.split(left)
+		if err != nil {
+			return err
+		}
+		newRoot := &node{keys: []Key{sep}, children: []*node{left, right}}
+		pa, err := t.arena.newNodePA()
+		if err != nil {
+			return err
+		}
+		newRoot.pa = pa
+		t.root = newRoot
+		t.depth++
+	}
+	if err := t.insertNonFull(t.root, e); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// insertNonFull inserts into the subtree at n, which is not full.
+func (t *IndexTree) insertNonFull(n *node, e TreeEntry) error {
+	if n.leaf {
+		i := 0
+		for i < len(n.keys) && n.keys[i] < e.Key {
+			i++
+		}
+		if i < len(n.keys) && n.keys[i] == e.Key {
+			return fmt.Errorf("segment: duplicate tree key %#x", uint64(e.Key))
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = e.Key
+		n.values = append(n.values, NoID)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = e.Value
+		return nil
+	}
+	// Route: rightmost child whose separator <= key.
+	i := 0
+	for i < len(n.keys) && n.keys[i] <= e.Key {
+		i++
+	}
+	child := n.children[i]
+	if len(child.keys) == NodeKeys {
+		right, sep, err := t.split(child)
+		if err != nil {
+			return err
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+		if e.Key >= sep {
+			child = right
+		}
+	}
+	return t.insertNonFull(child, e)
+}
+
+// split divides a full node in half, materializes the new right node, and
+// returns it with its separator (the right subtree's minimum key).
+func (t *IndexTree) split(n *node) (*node, Key, error) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	pa, err := t.arena.newNodePA()
+	if err != nil {
+		return nil, 0, err
+	}
+	right.pa = pa
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.values = append(right.values, n.values[mid:]...)
+		n.keys = n.keys[:mid]
+		n.values = n.values[:mid]
+		// Splice into the leaf chain.
+		right.next = n.next
+		if n.next != nil {
+			n.next.prev = right
+		}
+		right.prev = n
+		n.next = right
+		return right, right.keys[0], nil
+	}
+	// Internal split: the separator at mid moves up; children mid+1..
+	// move right.
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return right, sep, nil
+}
+
+// Delete removes the entry with the exact key, returning whether it
+// existed. Deletion is lazy — nodes may underflow, which keeps lookups
+// correct but wastes space; the OS compacts with a rebuild when churn
+// accumulates (mirroring its Bloom-filter rebuild policy).
+func (t *IndexTree) Delete(key Key) bool {
+	n := t.root
+	if n == nil {
+		return false
+	}
+	for !n.leaf {
+		i := 0
+		for i < len(n.keys) && n.keys[i] <= key {
+			i++
+		}
+		n = n.children[i]
+	}
+	for i, k := range n.keys {
+		if k == key {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.values = append(n.values[:i], n.values[i+1:]...)
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+// FillFactor returns the mean occupancy of the tree's nodes (keys held /
+// key capacity); 0 for an empty tree.
+func (t *IndexTree) FillFactor() float64 {
+	if t.root == nil {
+		return 0
+	}
+	var used, capacity int
+	var walk func(*node)
+	walk = func(n *node) {
+		used += len(n.keys)
+		capacity += NodeKeys
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return float64(used) / float64(capacity)
+}

@@ -1,0 +1,228 @@
+package segment
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/mem"
+)
+
+func newTree() (*IndexTree, *NodeArena) {
+	arena := NewNodeArena(mem.NewAllocator(1 << 30))
+	return NewIndexTree(arena), arena
+}
+
+func TestInsertBuildsValidTree(t *testing.T) {
+	tree, _ := newTree()
+	asid := addr.MakeASID(0, 1)
+	// Insert 2048 keys in random order.
+	perm := rand.New(rand.NewSource(81)).Perm(2048)
+	for _, i := range perm {
+		e := TreeEntry{Key: MakeKey(asid, addr.VA(i)<<21), Value: ID(i)}
+		if err := tree.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != 2048 {
+		t.Fatalf("len = %d", tree.Len())
+	}
+	if err := tree.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every key resolves; interior addresses resolve to the predecessor.
+	for i := 0; i < 2048; i += 31 {
+		va := addr.VA(i) << 21
+		id, _ := tree.Lookup(asid, va)
+		if id != ID(i) {
+			t.Fatalf("lookup %d = %d", i, id)
+		}
+		id2, _ := tree.Lookup(asid, va+0x1234)
+		if id2 != ID(i) {
+			t.Fatalf("interior lookup %d = %d", i, id2)
+		}
+	}
+	// Incremental trees run at a partial fill factor.
+	ff := tree.FillFactor()
+	if ff < 0.4 || ff > 0.95 {
+		t.Errorf("fill factor = %.2f, expected mid-range", ff)
+	}
+	// Depth exceeds the packed depth-4 bound because of the fill factor.
+	if tree.Depth() < 4 {
+		t.Errorf("depth = %d", tree.Depth())
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	tree, _ := newTree()
+	asid := addr.MakeASID(0, 1)
+	e := TreeEntry{Key: MakeKey(asid, 0x1000), Value: 1}
+	if err := tree.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(e); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if tree.Len() != 1 {
+		t.Errorf("len = %d after duplicate", tree.Len())
+	}
+}
+
+func TestDeleteAndPredecessorAcrossDrainedLeaves(t *testing.T) {
+	// The lazy-deletion hazard: delete a separator key, insert a segment
+	// whose range crosses the stale separator, and look up beyond it. The
+	// leaf chain must find the predecessor in the left sibling.
+	tree, _ := newTree()
+	asid := addr.MakeASID(0, 1)
+	// Enough keys to force several leaves.
+	for i := 0; i < 32; i++ {
+		if err := tree.Insert(TreeEntry{Key: MakeKey(asid, addr.VA(i)*0x10000), Value: ID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a whole leaf's worth of middle keys.
+	for i := 10; i < 20; i++ {
+		if !tree.Delete(MakeKey(asid, addr.VA(i)*0x10000)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tree.Delete(MakeKey(asid, 0x999999)) {
+		t.Error("deleting absent key succeeded")
+	}
+	// A lookup in the drained range must find key 9 via the leaf chain.
+	id, path := tree.Lookup(asid, addr.VA(15)*0x10000+0x42)
+	if id != 9 {
+		t.Fatalf("lookup across drained leaves = %d, want 9", id)
+	}
+	if len(path) == 0 {
+		t.Error("no path recorded")
+	}
+	if err := tree.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalMatchesReferenceUnderChurn(t *testing.T) {
+	tree, _ := newTree()
+	asid := addr.MakeASID(0, 1)
+	rng := rand.New(rand.NewSource(91))
+	refKeys := map[Key]ID{}
+	for step := 0; step < 5000; step++ {
+		k := MakeKey(asid, addr.VA(rng.Uint64()%(1<<30)) & ^addr.VA(0xfff))
+		switch {
+		case rng.Intn(3) != 0:
+			if _, dup := refKeys[k]; dup {
+				continue
+			}
+			v := ID(step % TableCapacity)
+			if err := tree.Insert(TreeEntry{Key: k, Value: v}); err != nil {
+				t.Fatal(err)
+			}
+			refKeys[k] = v
+		default:
+			got := tree.Delete(k)
+			_, want := refKeys[k]
+			if got != want {
+				t.Fatalf("step %d: delete = %v want %v", step, got, want)
+			}
+			delete(refKeys, k)
+		}
+		if step%500 == 0 {
+			if err := tree.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tree.Len() != len(refKeys) {
+		t.Fatalf("len = %d want %d", tree.Len(), len(refKeys))
+	}
+	// Sorted reference for predecessor queries.
+	keys := make([]Key, 0, len(refKeys))
+	for k := range refKeys {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rng2 := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 3000; trial++ {
+		va := addr.VA(rng2.Uint64() % (1 << 30))
+		k := MakeKey(asid, va)
+		i := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+		want := NoID
+		if i > 0 {
+			want = refKeys[keys[i-1]]
+		}
+		got, _ := tree.Lookup(asid, va)
+		if got != want {
+			t.Fatalf("lookup %#x = %d want %d", uint64(va), got, want)
+		}
+	}
+}
+
+func TestIncrementalManagerEndToEnd(t *testing.T) {
+	alloc := mem.NewAllocator(1 << 32)
+	m := NewManager(NewNodeArena(alloc))
+	m.Incremental = true
+	flushes := 0
+	m.OnRebuild = func() { flushes++ }
+	asid := addr.MakeASID(0, 1)
+	var segs []*Segment
+	for i := 0; i < 200; i++ {
+		pa, _ := alloc.AllocContiguous(16)
+		s, err := m.Allocate(asid, addr.VA(i)<<20, 16*addr.PageSize, pa, addr.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, s)
+	}
+	// Incremental mode never rebuilds (no index cache flushes).
+	if flushes != 0 {
+		t.Errorf("%d rebuild flushes in incremental mode", flushes)
+	}
+	// Free half, keep translating correctly.
+	for i := 0; i < 200; i += 2 {
+		m.Free(segs[i])
+		alloc.Free(segs[i].PABase, segs[i].Pages())
+	}
+	for i := 1; i < 200; i += 2 {
+		va := addr.VA(i)<<20 + 0x2345
+		id, _ := m.Tree.Lookup(asid, va)
+		if id != segs[i].ID {
+			t.Fatalf("segment %d: tree ID %d want %d", i, id, segs[i].ID)
+		}
+	}
+	// Freed ranges fault.
+	if id, _ := m.Tree.Lookup(asid, addr.VA(0)<<20); id != NoID {
+		if s := m.Table.Get(id); s != nil && s.Contains(asid, 0) {
+			t.Error("freed range still translates")
+		}
+	}
+}
+
+func TestIncrementalTranslatorKeepsIndexCacheWarm(t *testing.T) {
+	// The practical payoff of incremental maintenance: allocating a new
+	// segment does not move existing node addresses, so the index cache
+	// stays warm — unlike the bulk rebuild.
+	alloc := mem.NewAllocator(1 << 32)
+	m := NewManager(NewNodeArena(alloc))
+	m.Incremental = true
+	ic := NewIndexCache(32 << 10)
+	m.OnRebuild = ic.Flush
+	asid := addr.MakeASID(0, 1)
+	pa, _ := alloc.AllocContiguous(256)
+	s0, _ := m.Allocate(asid, 0, 256*addr.PageSize, pa, addr.PermRW)
+	tr := NewTranslator(DefaultTranslatorConfig(), nil, ic, m)
+	tr.Translate(asid, s0.Base)
+	warm := tr.Translate(asid, s0.Base)
+	if warm.ICMisses != 0 {
+		t.Fatal("setup: walk not warm")
+	}
+	pa2, _ := alloc.AllocContiguous(16)
+	if _, err := m.Allocate(asid, 1<<30, 16*addr.PageSize, pa2, addr.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.Translate(asid, s0.Base)
+	if after.ICMisses != 0 {
+		t.Errorf("index cache went cold after an incremental insert (%d misses)", after.ICMisses)
+	}
+}

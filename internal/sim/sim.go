@@ -1,0 +1,263 @@
+// Package sim is the top-level simulator harness: it drives one OoO-lite
+// timing core per hardware core, feeding each from a workload generator
+// (with round-robin timeslicing when a workload has more processes than
+// cores), routes every reference through the configured memory system, and
+// collects the performance and energy statistics the experiments report.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/cache"
+	"hybridvc/internal/core"
+	"hybridvc/internal/cpu"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// CPU is the timing core configuration.
+	CPU cpu.Config
+	// FetchEvery issues one instruction-fetch line access per this many
+	// instructions (64 B lines hold a handful of x86 instructions).
+	FetchEvery int
+	// Timeslice is the context-switch interval in instructions when a
+	// core multiplexes several processes.
+	Timeslice uint64
+	// Interleave is the per-core chunk size of the round-robin
+	// interleaving between cores.
+	Interleave int
+}
+
+// DefaultConfig returns the standard run configuration.
+func DefaultConfig() Config {
+	return Config{
+		CPU:        cpu.DefaultConfig(),
+		FetchEvery: 8,
+		Timeslice:  50_000,
+		Interleave: 128,
+	}
+}
+
+// Simulator drives one memory system with a set of workload generators.
+type Simulator struct {
+	cfg    Config
+	memsys core.MemSystem
+	cores  []*cpu.Core
+	// perCore[i] lists the generators multiplexed on core i.
+	perCore   [][]*workload.Generator
+	active    []int
+	sliceLeft []uint64
+	fetchOff  []uint64
+
+	// ContextSwitches counts generator switches (filter reloads happen
+	// via the OS on real switches; here we count them for energy).
+	ContextSwitches stats.Counter
+	// Retired counts instructions per core.
+	Retired []uint64
+}
+
+// New creates a simulator. Generators are distributed round-robin over the
+// memory system's cores; it panics when no generators are supplied.
+func New(cfg Config, ms core.MemSystem, gens []*workload.Generator) *Simulator {
+	if len(gens) == 0 {
+		panic("sim: no workload generators")
+	}
+	if cfg.FetchEvery <= 0 {
+		cfg.FetchEvery = 8
+	}
+	if cfg.Interleave <= 0 {
+		cfg.Interleave = 128
+	}
+	if cfg.Timeslice == 0 {
+		cfg.Timeslice = 50_000
+	}
+	n := ms.Hierarchy().NumCores()
+	s := &Simulator{
+		cfg:       cfg,
+		memsys:    ms,
+		perCore:   make([][]*workload.Generator, n),
+		active:    make([]int, n),
+		sliceLeft: make([]uint64, n),
+		fetchOff:  make([]uint64, n),
+		Retired:   make([]uint64, n),
+	}
+	for i, g := range gens {
+		c := i % n
+		s.perCore[c] = append(s.perCore[c], g)
+	}
+	for i := 0; i < n; i++ {
+		s.cores = append(s.cores, cpu.New(cfg.CPU))
+		s.sliceLeft[i] = cfg.Timeslice
+	}
+	return s
+}
+
+// step advances core c by one instruction.
+func (s *Simulator) step(c int) {
+	gens := s.perCore[c]
+	if len(gens) == 0 {
+		return
+	}
+	g := gens[s.active[c]]
+	cc := s.cores[c]
+
+	// Timeslice bookkeeping.
+	if len(gens) > 1 {
+		s.sliceLeft[c]--
+		if s.sliceLeft[c] == 0 {
+			s.sliceLeft[c] = s.cfg.Timeslice
+			s.active[c] = (s.active[c] + 1) % len(gens)
+			s.ContextSwitches.Inc()
+		}
+	}
+
+	// Periodic instruction fetch at line granularity.
+	var fetchStall uint64
+	if s.Retired[c]%uint64(s.cfg.FetchEvery) == 0 {
+		va := g.CodeStart + addr.VA(s.fetchOff[c]%g.CodeLen)
+		s.fetchOff[c] += addr.LineSize
+		fres := s.memsys.Access(core.Request{
+			Core: c, Kind: cache.Fetch, VA: va, Proc: g.Proc,
+		})
+		// A fetch hitting the L1I is fully pipelined; anything slower
+		// stalls the front end.
+		if l1 := s.memsys.Hierarchy().Config().L1I.HitLatency; fres.Latency > l1 {
+			fetchStall = fres.Latency - l1
+		}
+	}
+
+	in := g.Next()
+	if in.Mispredict {
+		cc.Mispredict()
+		s.Retired[c]++
+		return
+	}
+	lat := uint64(1)
+	isMem := false
+	if in.IsMem {
+		isMem = true
+		kind := cache.Read
+		if in.IsStore {
+			kind = cache.Write
+		}
+		res := s.memsys.Access(core.Request{Core: c, Kind: kind, VA: in.VA, Proc: g.Proc})
+		lat = res.Latency
+		if in.IsStore {
+			// Stores retire through the store buffer; their latency is
+			// hidden unless the machine backs up, which the LSQ bound
+			// models. Charge a store-buffer insertion cost only.
+			lat = 1
+		}
+	}
+	cc.Retire(lat+fetchStall, in.DependsOnPrev, isMem)
+	s.Retired[c]++
+}
+
+// Run executes n instructions per core, interleaving cores in chunks so
+// they share the memory system roughly in lockstep.
+func (s *Simulator) Run(n uint64) Report {
+	done := make([]uint64, len(s.cores))
+	for {
+		progressed := false
+		for c := range s.cores {
+			if len(s.perCore[c]) == 0 {
+				continue
+			}
+			chunk := uint64(s.cfg.Interleave)
+			if done[c]+chunk > n {
+				chunk = n - done[c]
+			}
+			for i := uint64(0); i < chunk; i++ {
+				s.step(c)
+			}
+			done[c] += chunk
+			if chunk > 0 {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return s.Report()
+}
+
+// Report summarizes a run.
+type Report struct {
+	Name string `json:"name"`
+	// Cycles is the slowest core's cycle count.
+	Cycles uint64 `json:"cycles"`
+	// Instructions is the total retired across cores.
+	Instructions uint64 `json:"instructions"`
+	// IPC is the aggregate instructions per (max) cycle.
+	IPC float64 `json:"ipc"`
+	// PerCoreIPC lists each core's IPC.
+	PerCoreIPC []float64 `json:"per_core_ipc"`
+	// TranslationEnergyPJ is the dynamic + static translation energy.
+	TranslationEnergyPJ float64 `json:"translation_energy_pj"`
+	// DynamicEnergyPJ is the dynamic translation energy alone.
+	DynamicEnergyPJ float64 `json:"dynamic_energy_pj"`
+	// LLCMissRate is the shared LLC local miss rate.
+	LLCMissRate float64 `json:"llc_miss_rate"`
+	// MemStallFraction is the fraction of cycles attributed to memory
+	// (averaged over active cores).
+	MemStallFraction float64 `json:"mem_stall_fraction"`
+}
+
+// JSON renders the report as a JSON object.
+func (r Report) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "{}" // Report contains no unmarshalable fields
+	}
+	return string(b)
+}
+
+// Report builds the summary for the current state.
+func (s *Simulator) Report() Report {
+	r := Report{Name: s.memsys.Name()}
+	for c, cc := range s.cores {
+		if len(s.perCore[c]) == 0 {
+			continue
+		}
+		if cc.Cycles() > r.Cycles {
+			r.Cycles = cc.Cycles()
+		}
+		r.Instructions += cc.Retired()
+		r.PerCoreIPC = append(r.PerCoreIPC, cc.IPC())
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	acc := s.memsys.Energy()
+	r.DynamicEnergyPJ = acc.Dynamic()
+	r.TranslationEnergyPJ = acc.Total(r.Cycles)
+	r.LLCMissRate = s.memsys.Hierarchy().LLC().Stats.MissRate()
+	var stall, cycles uint64
+	for c, cc := range s.cores {
+		if len(s.perCore[c]) == 0 {
+			continue
+		}
+		stall += cc.MemStallCycles()
+		cycles += cc.Cycles()
+	}
+	if cycles > 0 {
+		r.MemStallFraction = float64(stall) / float64(cycles)
+	}
+	return r
+}
+
+// Cores exposes the timing cores (for detailed statistics).
+func (s *Simulator) Cores() []*cpu.Core { return s.cores }
+
+// MemSystem exposes the memory system under test.
+func (s *Simulator) MemSystem() core.MemSystem { return s.memsys }
+
+func (r Report) String() string {
+	return fmt.Sprintf("%-18s cycles=%-12d IPC=%.3f xlat-energy=%.0f pJ llc-miss=%.1f%%",
+		r.Name, r.Cycles, r.IPC, r.TranslationEnergyPJ, 100*r.LLCMissRate)
+}

@@ -1,0 +1,92 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridvc/internal/addr"
+)
+
+// refTLB is a map-backed reference: unlimited capacity, exact contents.
+// The real TLB may evict, so: every real hit must agree with the
+// reference's value, and a reference miss implies a real miss.
+type refTLB map[[2]uint64]Entry
+
+func key(asid addr.ASID, vpn uint64) [2]uint64 { return [2]uint64{uint64(asid), vpn} }
+
+func TestTLBAgainstReference(t *testing.T) {
+	tb := New(Config{Name: "ref", Entries: 64, Ways: 4, Latency: 1})
+	ref := refTLB{}
+	rng := rand.New(rand.NewSource(41))
+	asids := []addr.ASID{addr.MakeASID(0, 1), addr.MakeASID(0, 2)}
+	for step := 0; step < 20000; step++ {
+		asid := asids[rng.Intn(2)]
+		vpn := rng.Uint64() % 256
+		switch rng.Intn(4) {
+		case 0: // insert
+			e := Entry{ASID: asid, VPN: vpn, PFN: rng.Uint64() % 1000, Perm: addr.PermRW}
+			tb.Insert(e)
+			ref[key(asid, vpn)] = e
+		case 1: // shootdown
+			tb.Shootdown(asid, vpn)
+			delete(ref, key(asid, vpn))
+		default: // lookup
+			got, hit := tb.Lookup(asid, vpn)
+			want, present := ref[key(asid, vpn)]
+			if hit && !present {
+				t.Fatalf("step %d: TLB returned a shot-down/never-inserted entry", step)
+			}
+			if hit && got.PFN != want.PFN {
+				t.Fatalf("step %d: stale PFN %d want %d", step, got.PFN, want.PFN)
+			}
+		}
+	}
+}
+
+func TestTLBOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(vpns []uint16) bool {
+		tb := New(Config{Name: "p", Entries: 16, Ways: 4, Latency: 1})
+		asid := addr.MakeASID(0, 1)
+		for _, v := range vpns {
+			tb.Insert(Entry{ASID: asid, VPN: uint64(v)})
+		}
+		return tb.Occupancy() <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBFlushASIDCompleteProperty(t *testing.T) {
+	f := func(vpnsA, vpnsB []uint16) bool {
+		tb := New(Config{Name: "p", Entries: 64, Ways: 8, Latency: 1})
+		a, b := addr.MakeASID(0, 1), addr.MakeASID(0, 2)
+		for _, v := range vpnsA {
+			tb.Insert(Entry{ASID: a, VPN: uint64(v)})
+		}
+		for _, v := range vpnsB {
+			tb.Insert(Entry{ASID: b, VPN: uint64(v)})
+		}
+		tb.FlushASID(a)
+		// No A entries survive; surviving entries are all B's.
+		for _, v := range vpnsA {
+			if _, ok := tb.Probe(a, uint64(v)); ok {
+				return false
+			}
+		}
+		ok := true
+		for si := range tb.sets {
+			for wi := range tb.sets[si] {
+				e := tb.sets[si][wi]
+				if e.Valid && e.ASID != b {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

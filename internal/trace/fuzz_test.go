@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/workload"
+)
+
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), true, false, false, uint64(0x2000))
+	f.Add(uint64(0), false, false, false, uint64(0))
+	f.Add(uint64(1)<<47, true, true, true, uint64(0xfff))
+	f.Fuzz(func(t *testing.T, va1 uint64, store, dep, shared bool, va2 uint64) {
+		ins := []workload.Insn{
+			{IsMem: true, IsStore: store, DependsOnPrev: dep, Shared: shared,
+				VA: addr.VA(va1 % (1 << addr.VABits))},
+			{}, // an ALU instruction
+			{IsMem: true, VA: addr.VA(va2 % (1 << addr.VABits))},
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, in := range ins {
+			if err := w.Write(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		for i, want := range ins {
+			got, err := r.Next()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("record %d: %+v != %+v", i, got, want)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+	})
+}
+
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte("HVCT\x01\x01\x80\x80"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				return // any error is fine; panics are not
+			}
+		}
+	})
+}

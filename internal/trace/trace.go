@@ -1,0 +1,159 @@
+// Package trace provides a compact binary format for instruction/memory
+// reference traces, mirroring the paper's Pin-based trace methodology
+// (Section III-C): workloads can be captured once from a generator and
+// replayed deterministically into any memory system configuration.
+//
+// Format: the header magic "HVCT\x01", then one record per instruction.
+// Each record is a flags byte followed, for memory operations, by the
+// zigzag-varint delta of the virtual address from the previous memory
+// operation (deltas compress well for real access streams).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/workload"
+)
+
+var magic = [5]byte{'H', 'V', 'C', 'T', 1}
+
+// Record flag bits.
+const (
+	flagMem        = 1 << 0
+	flagStore      = 1 << 1
+	flagDep        = 1 << 2
+	flagShared     = 1 << 3
+	flagMispredict = 1 << 4
+)
+
+// Writer streams instructions into a trace.
+type Writer struct {
+	w      *bufio.Writer
+	lastVA uint64
+	n      uint64
+	header bool
+}
+
+// NewWriter creates a trace writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one instruction.
+func (t *Writer) Write(in workload.Insn) error {
+	if !t.header {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.header = true
+	}
+	var flags byte
+	if in.IsMem {
+		flags |= flagMem
+	}
+	if in.IsStore {
+		flags |= flagStore
+	}
+	if in.DependsOnPrev {
+		flags |= flagDep
+	}
+	if in.Shared {
+		flags |= flagShared
+	}
+	if in.Mispredict {
+		flags |= flagMispredict
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if in.IsMem {
+		delta := int64(uint64(in.VA) - t.lastVA)
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := t.w.Write(buf[:n]); err != nil {
+			return err
+		}
+		t.lastVA = uint64(in.VA)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the instructions written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader replays a trace.
+type Reader struct {
+	r      *bufio.Reader
+	lastVA uint64
+	n      uint64
+	header bool
+}
+
+// NewReader creates a trace reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ErrBadMagic reports a stream that is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Next returns the next instruction, or io.EOF at the end of the trace.
+func (t *Reader) Next() (workload.Insn, error) {
+	if !t.header {
+		var got [5]byte
+		if _, err := io.ReadFull(t.r, got[:]); err != nil {
+			return workload.Insn{}, err
+		}
+		if got != magic {
+			return workload.Insn{}, ErrBadMagic
+		}
+		t.header = true
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return workload.Insn{}, err
+	}
+	in := workload.Insn{
+		IsMem:         flags&flagMem != 0,
+		IsStore:       flags&flagStore != 0,
+		DependsOnPrev: flags&flagDep != 0,
+		Shared:        flags&flagShared != 0,
+		Mispredict:    flags&flagMispredict != 0,
+	}
+	if in.IsMem {
+		delta, err := binary.ReadVarint(t.r)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return workload.Insn{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		t.lastVA += uint64(delta)
+		in.VA = addr.VA(t.lastVA)
+	}
+	t.n++
+	return in, nil
+}
+
+// Count returns the instructions read so far.
+func (t *Reader) Count() uint64 { return t.n }
+
+// Capture writes n instructions from the generator into w.
+func Capture(w io.Writer, g *workload.Generator, n uint64) error {
+	tw := NewWriter(w)
+	for i := uint64(0); i < n; i++ {
+		if err := tw.Write(g.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

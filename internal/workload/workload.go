@@ -1,0 +1,453 @@
+// Package workload generates synthetic instruction/memory reference
+// streams standing in for the paper's benchmark binaries (SPEC CPU2006,
+// PARSEC, BioBench, NPB, Graph500, GUPS, and the shared-memory server
+// workloads). Each named spec is calibrated to the per-workload statistics
+// the paper reports: memory footprint and page working set (Figure 4),
+// number of eagerly allocated segments and memory utilization (Table III),
+// and r/w shared area and access ratios (Tables I and II).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridvc/internal/addr"
+	"hybridvc/internal/osmodel"
+)
+
+// Pattern selects the access pattern over the touched working set.
+type Pattern int
+
+const (
+	// Uniform picks addresses uniformly at random (GUPS-like).
+	Uniform Pattern = iota
+	// Zipf concentrates 90% of accesses on a hot fraction.
+	Zipf
+	// Chase is dependent random access (pointer chasing, mcf-like).
+	Chase
+	// Stream walks memory sequentially.
+	Stream
+)
+
+// Insn is one instruction of the generated stream.
+type Insn struct {
+	IsMem         bool
+	IsStore       bool
+	DependsOnPrev bool
+	VA            addr.VA
+	// Shared marks accesses targeting the r/w shared (synonym) region.
+	Shared bool
+	// Mispredict marks a branch the two-level predictor got wrong: the
+	// front end refills after a pipeline flush.
+	Mispredict bool
+}
+
+// Spec parameterizes one workload.
+type Spec struct {
+	Name string
+	// Regions are the sizes of eagerly allocated private regions; each
+	// becomes (at least) one segment.
+	Regions []uint64
+	// TouchFrac is the fraction of each region the workload ever touches
+	// (Table III utilization).
+	TouchFrac float64
+	// MemRatio is the fraction of instructions that access memory.
+	MemRatio float64
+	// StoreFrac is the fraction of memory accesses that are stores.
+	StoreFrac float64
+	// Pattern and HotFrac control locality.
+	Pattern Pattern
+	HotFrac float64
+	// DepFrac is the fraction of loads that depend on the previous load.
+	DepFrac float64
+	// Procs is the process count (multi-process server workloads).
+	Procs int
+	// SharedBytes is the size of the r/w shared (synonym) region mapped
+	// into every process; 0 for no sharing.
+	SharedBytes uint64
+	// SharedAccessFrac is the probability a memory access targets the
+	// shared region (Table I "shared access").
+	SharedAccessFrac float64
+	// HugePages backs the private regions with 2 MiB mappings (the
+	// transparent-huge-page mitigation for baseline TLB reach).
+	HugePages bool
+	// PhaseInsns rotates the Zipf hot region every this many instructions,
+	// modelling program phases; 0 disables phase behaviour.
+	PhaseInsns uint64
+	// BranchRatio is the fraction of instructions that are branches and
+	// MispredictRate the fraction of those the predictor misses (defaults
+	// 0.15 and 0.03 when BranchRatio is 0 — typical integer-code rates).
+	BranchRatio    float64
+	MispredictRate float64
+}
+
+// TotalBytes returns the private allocation footprint.
+func (s Spec) TotalBytes() uint64 {
+	var t uint64
+	for _, r := range s.Regions {
+		t += r
+	}
+	return t
+}
+
+// repeat returns n copies of size (helper for many-segment specs).
+func repeat(n int, size uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+const (
+	kib = uint64(1) << 10
+	mib = uint64(1) << 20
+	gib = uint64(1) << 30
+)
+
+// Specs is the named workload table. Region counts reproduce the paper's
+// Table III segment counts; touch fractions its utilization column; the
+// shared parameters Tables I and II; footprints are scaled to keep the
+// simulations tractable while keeping page working sets far beyond TLB
+// reach where the paper's do (GUPS, mcf, milc).
+var Specs = map[string]Spec{
+	// --- big-memory / memory-intensive workloads (Figures 4 and 9) ---
+	"gups": {
+		Name: "gups", Regions: repeat(8, 128*mib), TouchFrac: 1.0,
+		MemRatio: 0.55, StoreFrac: 0.5, Pattern: Uniform, DepFrac: 0.0,
+	},
+	"milc": {
+		Name: "milc", Regions: repeat(17, 32*mib), TouchFrac: 1.0,
+		MemRatio: 0.45, StoreFrac: 0.3, Pattern: Uniform, DepFrac: 0.1,
+	},
+	"mcf": {
+		Name: "mcf", Regions: repeat(42, 8*mib), TouchFrac: 0.95,
+		MemRatio: 0.5, StoreFrac: 0.2, Pattern: Chase, DepFrac: 0.8,
+	},
+	"xalancbmk": {
+		Name: "xalancbmk", Regions: repeat(234, 1*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.25, Pattern: Zipf, HotFrac: 0.05, DepFrac: 0.3,
+	},
+	"tigr": {
+		Name: "tigr", Regions: repeat(368, 1*mib), TouchFrac: 0.83,
+		MemRatio: 0.5, StoreFrac: 0.15, Pattern: Zipf, HotFrac: 0.3, DepFrac: 0.5,
+	},
+	"omnetpp": {
+		Name: "omnetpp", Regions: repeat(79, 2*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.4,
+	},
+	"soplex": {
+		Name: "soplex", Regions: repeat(28, 8*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.2, Pattern: Zipf, HotFrac: 0.08, DepFrac: 0.2,
+	},
+	"graph500": {
+		Name: "graph500", Regions: repeat(12, 48*mib), TouchFrac: 1.0,
+		MemRatio: 0.45, StoreFrac: 0.2, Pattern: Uniform, DepFrac: 0.5,
+	},
+	// --- Table III segment-count / utilization workloads ---
+	"astar": {
+		Name: "astar", Regions: repeat(52, 1*mib), TouchFrac: 0.95,
+		MemRatio: 0.35, StoreFrac: 0.25, Pattern: Zipf, HotFrac: 0.2, DepFrac: 0.3,
+	},
+	"cactus": {
+		Name: "cactus", Regions: repeat(60, 2*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.3, Pattern: Stream, DepFrac: 0.05,
+	},
+	"gemsFDTD": {
+		Name: "gemsFDTD", Regions: repeat(99, 2*mib), TouchFrac: 0.28,
+		MemRatio: 0.45, StoreFrac: 0.35, Pattern: Stream, DepFrac: 0.05,
+	},
+	"canneal": {
+		Name: "canneal", Regions: repeat(36, 8*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.2, Pattern: Uniform, DepFrac: 0.4,
+	},
+	"stream": {
+		Name: "stream", Regions: repeat(8, 16*mib), TouchFrac: 1.0,
+		MemRatio: 0.5, StoreFrac: 0.33, Pattern: Stream, DepFrac: 0.0,
+	},
+	"mummer": {
+		Name: "mummer", Regions: repeat(42, 4*mib), TouchFrac: 0.75,
+		MemRatio: 0.45, StoreFrac: 0.1, Pattern: Chase, DepFrac: 0.6,
+	},
+	"memcached": {
+		Name: "memcached", Regions: repeat(640, 8*mib), TouchFrac: 0.45,
+		MemRatio: 0.4, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.3,
+	},
+	"npb-cg": {
+		Name: "npb-cg", Regions: repeat(14, 16*mib), TouchFrac: 0.95,
+		MemRatio: 0.45, StoreFrac: 0.2, Pattern: Stream, DepFrac: 0.1,
+	},
+	// --- shared-memory (synonym) workloads (Tables I and II) ---
+	"ferret": {
+		Name: "ferret", Regions: repeat(6, 16*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.25, Pattern: Zipf, HotFrac: 0.15, DepFrac: 0.2,
+		Procs: 2, SharedBytes: 1 * mib, SharedAccessFrac: 0.0024,
+	},
+	"postgres": {
+		Name: "postgres", Regions: repeat(8, 8*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.3,
+		Procs: 4, SharedBytes: 128 * mib, SharedAccessFrac: 0.16,
+	},
+	"specjbb": {
+		Name: "specjbb", Regions: repeat(12, 16*mib), TouchFrac: 0.9,
+		MemRatio: 0.4, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.3,
+		Procs: 1, SharedBytes: 128 * kib, SharedAccessFrac: 0.0008,
+	},
+	"firefox": {
+		Name: "firefox", Regions: repeat(24, 4*mib), TouchFrac: 0.85,
+		MemRatio: 0.35, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.3,
+		Procs: 2, SharedBytes: 1500 * kib, SharedAccessFrac: 0.005,
+	},
+	"apache": {
+		Name: "apache", Regions: repeat(10, 4*mib), TouchFrac: 0.9,
+		MemRatio: 0.35, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.2,
+		Procs: 4, SharedBytes: 512 * kib, SharedAccessFrac: 0.004,
+	},
+}
+
+// Get returns the named spec.
+func Get(name string) (Spec, error) {
+	s, ok := Specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return s, nil
+}
+
+// Generator produces the instruction stream of one process of a workload.
+type Generator struct {
+	Spec Spec
+	Proc *osmodel.Process
+	rng  *rand.Rand
+
+	regions     []genRegion
+	cumBytes    []uint64
+	totalTouch  uint64
+	sharedStart addr.VA
+	sharedLen   uint64
+
+	// CodeStart/CodeLen describe the synthetic code region for fetches.
+	CodeStart addr.VA
+	CodeLen   uint64
+
+	chasePtr  addr.VA
+	streamPt  uint64
+	emitted   uint64
+	phaseBase uint64
+	// Phases counts hot-region rotations performed.
+	Phases uint64
+}
+
+type genRegion struct {
+	start addr.VA
+	touch uint64 // touched prefix in bytes
+}
+
+// groupState carries the shared region across a multi-process group.
+type groupState struct {
+	vas []addr.VA
+}
+
+// NewGroup instantiates the workload's processes in the kernel and returns
+// one generator per process. Multi-process specs share one synonym region
+// created through the OS (updating filters and page tables).
+func NewGroup(spec Spec, k *osmodel.Kernel, seed int64) ([]*Generator, error) {
+	n := spec.Procs
+	if n <= 0 {
+		n = 1
+	}
+	procs := make([]*osmodel.Process, n)
+	for i := range procs {
+		p, err := k.NewProcess()
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	var gs groupState
+	if spec.SharedBytes > 0 {
+		vas, err := k.ShareAnonymous(procs, spec.SharedBytes)
+		if err != nil {
+			return nil, err
+		}
+		gs.vas = vas
+	}
+	gens := make([]*Generator, n)
+	for i, p := range procs {
+		g := &Generator{
+			Spec: spec,
+			Proc: p,
+			rng:  rand.New(rand.NewSource(seed + int64(i)*7919)),
+		}
+		// Code region: 256 KiB of eagerly mapped text.
+		code, err := p.Mmap(256*kib, addr.PermExec, osmodel.MmapOpts{})
+		if err != nil {
+			return nil, err
+		}
+		g.CodeStart, g.CodeLen = code, 256*kib
+		for _, size := range spec.Regions {
+			va, err := p.Mmap(size, addr.PermRW, osmodel.MmapOpts{HugePages: spec.HugePages})
+			if err != nil {
+				return nil, fmt.Errorf("workload %s: %w", spec.Name, err)
+			}
+			touch := uint64(float64(size) * spec.TouchFrac)
+			touch = (touch + addr.PageSize - 1) &^ uint64(addr.PageSize-1)
+			if touch == 0 {
+				touch = addr.PageSize
+			}
+			if touch > size {
+				touch = size
+			}
+			g.regions = append(g.regions, genRegion{start: va, touch: touch})
+			g.totalTouch += touch
+			g.cumBytes = append(g.cumBytes, g.totalTouch)
+		}
+		if spec.SharedBytes > 0 {
+			g.sharedStart = gs.vas[i]
+			g.sharedLen = spec.SharedBytes
+		}
+		g.chasePtr = g.regions[0].start
+		gens[i] = g
+	}
+	return gens, nil
+}
+
+// New instantiates a single-process generator (convenience).
+func New(spec Spec, k *osmodel.Kernel, seed int64) (*Generator, error) {
+	s := spec
+	s.Procs = 1
+	gens, err := NewGroup(s, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return gens[0], nil
+}
+
+// pickPrivate chooses a private target address according to the pattern.
+func (g *Generator) pickPrivate() addr.VA {
+	switch g.Spec.Pattern {
+	case Stream:
+		off := g.streamPt % g.totalTouch
+		g.streamPt += addr.LineSize
+		return g.offsetToVA(off)
+	case Zipf:
+		hot := uint64(float64(g.totalTouch) * g.Spec.HotFrac)
+		if hot < addr.PageSize {
+			hot = addr.PageSize
+		}
+		if g.rng.Float64() < 0.9 {
+			return g.offsetToVA((g.phaseBase + g.rng.Uint64()%hot) % g.totalTouch)
+		}
+		return g.offsetToVA(g.rng.Uint64() % g.totalTouch)
+	case Chase:
+		// The chase pointer jumps pseudo-randomly; each step depends on
+		// the loaded value.
+		g.chasePtr = g.offsetToVA(g.rng.Uint64() % g.totalTouch)
+		return g.chasePtr
+	default: // Uniform
+		return g.offsetToVA(g.rng.Uint64() % g.totalTouch)
+	}
+}
+
+// offsetToVA maps a global touched-byte offset onto the owning region.
+func (g *Generator) offsetToVA(off uint64) addr.VA {
+	lo, hi := 0, len(g.cumBytes)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cumBytes[mid] > off {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	base := uint64(0)
+	if lo > 0 {
+		base = g.cumBytes[lo-1]
+	}
+	return g.regions[lo].start + addr.VA(off-base)
+}
+
+// Next produces the next instruction.
+func (g *Generator) Next() Insn {
+	g.emitted++
+	if g.Spec.PhaseInsns > 0 && g.emitted%g.Spec.PhaseInsns == 0 {
+		// Rotate the hot region by its own size: a program phase change.
+		hot := uint64(float64(g.totalTouch) * g.Spec.HotFrac)
+		if hot < addr.PageSize {
+			hot = addr.PageSize
+		}
+		g.phaseBase = (g.phaseBase + hot) % g.totalTouch
+		g.Phases++
+	}
+	if g.rng.Float64() >= g.Spec.MemRatio {
+		br, mr := g.Spec.BranchRatio, g.Spec.MispredictRate
+		if br == 0 {
+			br, mr = 0.15, 0.03
+		}
+		// Non-memory instructions include branches; a mispredicted one
+		// flushes the pipeline.
+		if g.rng.Float64() < br && g.rng.Float64() < mr {
+			return Insn{Mispredict: true}
+		}
+		return Insn{}
+	}
+	in := Insn{IsMem: true}
+	in.IsStore = g.rng.Float64() < g.Spec.StoreFrac
+	if g.sharedLen > 0 && g.rng.Float64() < g.Spec.SharedAccessFrac {
+		in.VA = g.sharedStart + addr.VA(g.rng.Uint64()%g.sharedLen)
+		in.Shared = true
+	} else {
+		in.VA = g.pickPrivate()
+		if g.Spec.Pattern == Chase {
+			in.DependsOnPrev = !in.IsStore
+		} else {
+			in.DependsOnPrev = g.rng.Float64() < g.Spec.DepFrac
+		}
+	}
+	// Record utilization / shared-ratio accounting in the OS model.
+	g.Proc.Touch(in.VA, g.Proc.FindRegion(in.VA))
+	return in
+}
+
+// Emitted returns the number of instructions generated.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// PrewarmTouch records a touch on every page of the touched working set,
+// modelling the full application run (the paper's Table III utilization is
+// measured over complete executions, far longer than a sampled simulation
+// window). It only affects utilization accounting, not caches or TLBs.
+func (g *Generator) PrewarmTouch() {
+	for _, r := range g.regions {
+		region := g.Proc.FindRegion(r.start)
+		for off := uint64(0); off < r.touch; off += addr.PageSize {
+			g.Proc.Touch(r.start+addr.VA(off), region)
+		}
+	}
+	code := g.Proc.FindRegion(g.CodeStart)
+	for off := uint64(0); off < g.CodeLen; off += addr.PageSize {
+		g.Proc.Touch(g.CodeStart+addr.VA(off), code)
+	}
+}
+
+// HotPages returns the set of pages forming the current Zipf hot region;
+// empty for non-Zipf patterns.
+func (g *Generator) HotPages() map[uint64]bool {
+	if g.Spec.Pattern != Zipf {
+		return nil
+	}
+	hot := uint64(float64(g.totalTouch) * g.Spec.HotFrac)
+	if hot < addr.PageSize {
+		hot = addr.PageSize
+	}
+	pages := make(map[uint64]bool)
+	for off := uint64(0); off < hot; off += addr.PageSize {
+		pages[g.offsetToVA((g.phaseBase+off)%g.totalTouch).Page()] = true
+	}
+	return pages
+}
+
+// PageWorkingSet estimates the distinct-page footprint of the touched
+// working set, in 4 KiB pages.
+func (g *Generator) PageWorkingSet() uint64 {
+	return (g.totalTouch + addr.PageSize - 1) / addr.PageSize
+}
