@@ -1,0 +1,46 @@
+# Build/CI entry points. `make ci` is the gate: vet plus the full test
+# suite under the race detector (the sweep runner is concurrent).
+GO ?= go
+
+.PHONY: all build test race vet ci bench sweep sweep-full clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The heavy simulation shape tests skip themselves under -race (they
+# validate numerics, not concurrency, and are 10x+ slower instrumented);
+# the runner's concurrency is still exercised end to end by the tests in
+# experiments/runner_test.go. `ci` therefore runs both the plain suite
+# and the race-instrumented one.
+race:
+	$(GO) test -race ./...
+
+ci: vet test race
+
+# bench runs the per-experiment benchmarks and the full-sweep benchmark,
+# which writes BENCH_sweep.json (wall-clock seconds per Quick sweep) for
+# tracking the perf trajectory.
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkQuickFullSweep -benchtime=1x .
+
+bench-all:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# sweep regenerates every table/figure at Quick scale on all cores;
+# sweep-full runs the paper-length windows.
+sweep:
+	$(GO) run ./cmd/tablegen -exp all
+
+sweep-full:
+	$(GO) run ./cmd/tablegen -exp all -full
+
+clean:
+	rm -f BENCH_sweep.json

@@ -9,8 +9,11 @@
 package hybridvc_test
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 
 	"hybridvc"
 	"hybridvc/experiments"
@@ -32,7 +35,10 @@ var sinkTable interface{}
 
 func BenchmarkTable1SharedMemory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.TableI(experiments.Quick)
+		_, t, err := experiments.TableI(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -42,7 +48,10 @@ func BenchmarkTable1SharedMemory(b *testing.B) {
 
 func BenchmarkTable2SynonymFilter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.TableII(experiments.Quick)
+		_, t, err := experiments.TableII(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -52,7 +61,10 @@ func BenchmarkTable2SynonymFilter(b *testing.B) {
 
 func BenchmarkTable3Segments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.TableIII(experiments.Quick)
+		_, t, err := experiments.TableIII(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -62,7 +74,10 @@ func BenchmarkTable3Segments(b *testing.B) {
 
 func BenchmarkFigure4DelayedTLBScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Figure4(experiments.Quick)
+		_, t, err := experiments.Figure4(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -72,7 +87,10 @@ func BenchmarkFigure4DelayedTLBScaling(b *testing.B) {
 
 func BenchmarkFigure7aIndexCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Figure7a(experiments.Quick)
+		_, t, err := experiments.Figure7a(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -82,7 +100,10 @@ func BenchmarkFigure7aIndexCache(b *testing.B) {
 
 func BenchmarkFigure7bIndexCacheWorstCase(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Figure7b(experiments.Quick)
+		_, t, err := experiments.Figure7b(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -92,7 +113,10 @@ func BenchmarkFigure7bIndexCacheWorstCase(b *testing.B) {
 
 func BenchmarkFigure9NativePerformance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Figure9(experiments.Quick)
+		_, t, err := experiments.Figure9(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -102,7 +126,10 @@ func BenchmarkFigure9NativePerformance(b *testing.B) {
 
 func BenchmarkFigure10VirtualizedPerformance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Figure10(experiments.Quick)
+		_, t, err := experiments.Figure10(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -112,7 +139,10 @@ func BenchmarkFigure10VirtualizedPerformance(b *testing.B) {
 
 func BenchmarkFigure11TranslationEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Figure11(experiments.Quick)
+		_, t, err := experiments.Figure11(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -122,7 +152,10 @@ func BenchmarkFigure11TranslationEnergy(b *testing.B) {
 
 func BenchmarkSegmentWalkLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.SegmentWalkLatency(experiments.Quick)
+		t, err := experiments.SegmentWalkLatency(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -132,7 +165,10 @@ func BenchmarkSegmentWalkLatency(b *testing.B) {
 
 func BenchmarkAblationFilterDesign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.AblationFilterDesign(experiments.Quick)
+		t, err := experiments.AblationFilterDesign(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -142,7 +178,10 @@ func BenchmarkAblationFilterDesign(b *testing.B) {
 
 func BenchmarkAblationSegmentCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.AblationSegmentCache(experiments.Quick)
+		t, err := experiments.AblationSegmentCache(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -152,7 +191,10 @@ func BenchmarkAblationSegmentCache(b *testing.B) {
 
 func BenchmarkMulticoreMixes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, t := experiments.Multicore(experiments.Quick)
+		_, t, err := experiments.Multicore(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
@@ -162,10 +204,43 @@ func BenchmarkMulticoreMixes(b *testing.B) {
 
 func BenchmarkAblationHugePages(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.AblationHugePages(experiments.Quick)
+		t, err := experiments.AblationHugePages(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkQuickFullSweep runs every registered experiment (the whole
+// `tablegen -exp all` sweep) at Quick scale on the parallel runner and
+// records the wall-clock per sweep in BENCH_sweep.json, so the perf
+// trajectory of the full evaluation is tracked over time.
+func BenchmarkQuickFullSweep(b *testing.B) {
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			tables, err := e.Run(experiments.Quick)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkTable = tables
+		}
+	}
+	secs := time.Since(start).Seconds() / float64(b.N)
+	b.ReportMetric(secs, "s/sweep")
+	out, err := json.MarshalIndent(map[string]any{
+		"name":              "quick_full_sweep",
+		"jobs":              experiments.Jobs(),
+		"experiments":       len(experiments.All()),
+		"seconds_per_sweep": secs,
+	}, "", "  ")
+	if err == nil {
+		if werr := os.WriteFile("BENCH_sweep.json", append(out, '\n'), 0o644); werr != nil {
+			b.Logf("BENCH_sweep.json not written: %v", werr)
 		}
 	}
 }
@@ -306,7 +381,10 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 
 func BenchmarkAblationSerialParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.AblationSerialParallel(experiments.Quick)
+		t, err := experiments.AblationSerialParallel(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkTable = t
 		if i == 0 {
 			b.Log("\n" + t.String())

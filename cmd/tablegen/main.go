@@ -2,9 +2,16 @@
 // simulator. Each experiment prints the same rows/series the paper
 // reports; see EXPERIMENTS.md for the paper-vs-measured record.
 //
+// Experiments are enumerated from the experiments registry — run
+// `tablegen -list` for the current set with descriptions (the -exp flag
+// usage is generated from the same registry, so it cannot drift).
+// Independent design points of a sweep run concurrently on a worker pool
+// (-jobs, default GOMAXPROCS); results are deterministic regardless of
+// the worker count.
+//
 // Usage:
 //
-//	tablegen -exp table1|table2|table3|fig4|fig7a|fig7b|fig9|fig10|fig11|latency|ablations|all [-full]
+//	tablegen [-exp <name>|all] [-full] [-jobs N] [-out dir] [-list]
 package main
 
 import (
@@ -19,16 +26,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, table3, fig4, fig7a, fig7b, fig9, fig10, fig11, multicore, consolidation, latency, ablations, all)")
+	exp := flag.String("exp", "all", "experiment to run ("+experiments.Usage()+")")
 	full := flag.Bool("full", false, "run at full (paper-length) scale instead of quick scale")
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
+	jobs := flag.Int("jobs", 0, "parallel sweep workers (<= 0 means GOMAXPROCS)")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
+	verbose := flag.Bool("v", false, "report per-cell sweep progress on stderr")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Description)
+		}
+		return
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "tablegen:", err)
-			os.Exit(1)
+			fail(err)
 		}
+	}
+
+	experiments.SetJobs(*jobs)
+	if *verbose {
+		experiments.SetProgress(func(done, total int, label string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %8v\n", done, total, label,
+				elapsed.Round(time.Millisecond))
+		})
 	}
 
 	scale := experiments.Quick
@@ -36,90 +60,45 @@ func main() {
 		scale = experiments.Full
 	}
 
-	runners := map[string]func() []*stats.Table{
-		"table1": func() []*stats.Table {
-			_, t := experiments.TableI(scale)
-			return []*stats.Table{t}
-		},
-		"table2": func() []*stats.Table {
-			_, t := experiments.TableII(scale)
-			return []*stats.Table{t}
-		},
-		"table3": func() []*stats.Table {
-			_, t := experiments.TableIII(scale)
-			return []*stats.Table{t}
-		},
-		"fig4": func() []*stats.Table {
-			_, t := experiments.Figure4(scale)
-			return []*stats.Table{t}
-		},
-		"fig7a": func() []*stats.Table {
-			_, t := experiments.Figure7a(scale)
-			return []*stats.Table{t}
-		},
-		"fig7b": func() []*stats.Table {
-			_, t := experiments.Figure7b(scale)
-			return []*stats.Table{t}
-		},
-		"fig9": func() []*stats.Table {
-			_, t := experiments.Figure9(scale)
-			return []*stats.Table{t}
-		},
-		"fig10": func() []*stats.Table {
-			_, t := experiments.Figure10(scale)
-			return []*stats.Table{t}
-		},
-		"fig11": func() []*stats.Table {
-			_, t := experiments.Figure11(scale)
-			return []*stats.Table{t}
-		},
-		"consolidation": func() []*stats.Table {
-			return []*stats.Table{experiments.Consolidation(scale)}
-		},
-		"multicore": func() []*stats.Table {
-			_, t := experiments.Multicore(scale)
-			return []*stats.Table{t}
-		},
-		"latency": func() []*stats.Table {
-			return []*stats.Table{experiments.SegmentWalkLatency(scale)}
-		},
-		"ablations": func() []*stats.Table {
-			return []*stats.Table{
-				experiments.AblationFilterDesign(scale),
-				experiments.AblationSegmentCache(scale),
-				experiments.AblationHugePages(scale),
-				experiments.AblationSerialParallel(scale),
-			}
-		},
-	}
-	order := []string{"table1", "table2", "table3", "fig4", "fig7a", "fig7b",
-		"fig9", "fig10", "fig11", "multicore", "consolidation", "latency", "ablations"}
-
-	var selected []string
+	var selected []experiments.Experiment
 	if *exp == "all" {
-		selected = order
-	} else if _, ok := runners[*exp]; ok {
-		selected = []string{*exp}
+		selected = experiments.All()
+	} else if e, ok := experiments.Lookup(*exp); ok {
+		selected = []experiments.Experiment{e}
 	} else {
-		fmt.Fprintf(os.Stderr, "tablegen: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "tablegen: unknown experiment %q (want one of: %s)\n",
+			*exp, experiments.Usage())
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	for _, name := range selected {
+	sweepStart := time.Now()
+	for _, e := range selected {
 		start := time.Now()
-		for i, t := range runners[name]() {
+		tables, err := e.Run(scale)
+		if err != nil {
+			fail(fmt.Errorf("experiment %s: %w", e.Name, err))
+		}
+		for i, t := range tables {
 			fmt.Println(t)
 			if *outDir != "" {
-				path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", name, i))
+				path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", e.Name, i))
 				if err := writeCSV(path, t); err != nil {
-					fmt.Fprintln(os.Stderr, "tablegen:", err)
-					os.Exit(1)
+					fail(err)
 				}
 			}
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	if len(selected) > 1 {
+		fmt.Printf("[sweep of %d experiments completed in %v with %d workers]\n",
+			len(selected), time.Since(sweepStart).Round(time.Millisecond), experiments.Jobs())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tablegen:", err)
+	os.Exit(1)
 }
 
 func writeCSV(path string, t *stats.Table) error {

@@ -8,6 +8,7 @@ import (
 	"hybridvc/internal/addr"
 	"hybridvc/internal/bloom"
 	"hybridvc/internal/core"
+	"hybridvc/internal/sim"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/synfilter"
 )
@@ -19,31 +20,38 @@ type FilterDesign struct {
 	Probe func(va addr.VA) bool
 }
 
-// AblationFilterDesign compares the paper's two-granularity, two-hash
-// design against simpler filters: a single fine filter, a single coarse
-// filter, and a one-hash variant. It marks realistic shared ranges (8-page
-// regions) and measures false positives over a disjoint probe stream.
-func AblationFilterDesign(scale Scale) *stats.Table {
-	n := scale.pick(200_000, 2_000_000)
+// a1Ranges regenerates the shared synonym ranges used by every A1 design
+// point: 16 regions of 8 pages in the low half of the space. Each cell
+// rebuilds them from the fixed seed so cells stay self-contained.
+func a1Ranges() []struct {
+	start addr.VA
+	len   uint64
+} {
 	rng := rand.New(rand.NewSource(23))
-
-	// Shared ranges: 16 regions of 8 pages in the low half of the space.
-	type rg struct {
+	var ranges []struct {
 		start addr.VA
 		len   uint64
 	}
-	var ranges []rg
 	for i := 0; i < 16; i++ {
 		start := addr.VA(rng.Uint64()%(1<<40)) & ^addr.VA(1<<synfilter.FineBits-1)
-		ranges = append(ranges, rg{start, 8 * addr.PageSize})
+		ranges = append(ranges, struct {
+			start addr.VA
+			len   uint64
+		}{start, 8 * addr.PageSize})
 	}
+	return ranges
+}
 
+// a1Designs builds the four filter designs over the shared ranges: the
+// paper's two-granularity, two-hash design, a single fine filter, a
+// single coarse filter, and a one-hash variant.
+func a1Designs() []FilterDesign {
 	paper := synfilter.New()
 	fineOnly := bloom.New(addr.VABits - synfilter.FineBits)
 	coarseOnly := bloom.New(addr.VABits - synfilter.CoarseBits)
 	oneHash := bloom.New(addr.VABits - synfilter.FineBits) // probe uses one index
 
-	for _, r := range ranges {
+	for _, r := range a1Ranges() {
 		paper.MarkSynonymRange(r.start, r.len)
 		for off := uint64(0); off < r.len; off += addr.PageSize {
 			va := r.start + addr.VA(off)
@@ -52,7 +60,7 @@ func AblationFilterDesign(scale Scale) *stats.Table {
 			oneHash.Insert(uint64(va) >> synfilter.FineBits)
 		}
 	}
-	designs := []FilterDesign{
+	return []FilterDesign{
 		{"two-granularity x two-hash (paper)", paper.ProbeQuiet},
 		{"fine 32KB only", func(va addr.VA) bool {
 			return fineOnly.Contains(uint64(va) >> synfilter.FineBits)
@@ -64,25 +72,54 @@ func AblationFilterDesign(scale Scale) *stats.Table {
 			return containsOne(oneHash, uint64(va)>>synfilter.FineBits)
 		}},
 	}
+}
+
+// AblationFilterDesign compares the paper's two-granularity, two-hash
+// design against simpler filters: a single fine filter, a single coarse
+// filter, and a one-hash variant. It marks realistic shared ranges (8-page
+// regions) and measures false positives over a disjoint probe stream.
+func AblationFilterDesign(scale Scale) (*stats.Table, error) {
+	n := scale.pick(200_000, 2_000_000)
+	labels := make([]string, len(a1Designs()))
+	var cells []Cell
+	for di, d := range a1Designs() {
+		di, label := di, d.Label
+		labels[di] = label
+		cells = append(cells, Cell{
+			Label: "ablation-a1/" + label,
+			Fn: func() (any, error) {
+				// Rebuild the filters inside the cell: probes are
+				// read-only, but self-contained cells need no sharing.
+				d := a1Designs()[di]
+				fp := uint64(0)
+				probes := uint64(0)
+				prng := rand.New(rand.NewSource(29))
+				for i := uint64(0); i < n; i++ {
+					// Probe the disjoint upper half of the address space.
+					va := addr.VA(1<<41 | prng.Uint64()%(1<<40))
+					probes++
+					if d.Probe(va) {
+						fp++
+					}
+				}
+				return [2]uint64{fp, probes}, nil
+			},
+		})
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 
 	t := stats.NewTable("Ablation A1: synonym filter design vs false-positive rate",
 		"design", "false positives", "rate")
-	for _, d := range designs {
-		fp := uint64(0)
-		probes := uint64(0)
-		prng := rand.New(rand.NewSource(29))
-		for i := uint64(0); i < n; i++ {
-			// Probe the disjoint upper half of the address space.
-			va := addr.VA(1<<41 | prng.Uint64()%(1<<40))
-			probes++
-			if d.Probe(va) {
-				fp++
-			}
-		}
-		t.AddRow(d.Label, fmt.Sprintf("%d", fp),
+	for di, label := range labels {
+		v := res[di].Value.([2]uint64)
+		fp, probes := v[0], v[1]
+		t.AddRow(label, fmt.Sprintf("%d", fp),
 			fmt.Sprintf("%.4f%%", 100*stats.Ratio(fp, probes)))
 	}
-	return t
+	return t, nil
 }
 
 // containsOne checks only the first hash function's bit — the single-hash
@@ -96,56 +133,76 @@ func containsOne(f *bloom.Filter, granule uint64) bool {
 // AblationSegmentCache quantifies the segment cache's contribution (the
 // Figure 9 with/without-SC pair) on a friendly and an adversarial
 // workload.
-func AblationSegmentCache(scale Scale) *stats.Table {
+func AblationSegmentCache(scale Scale) (*stats.Table, error) {
 	n := scale.pick(40_000, 500_000)
+	workloads := []string{"stream", "gups"}
+	orgs := []hybridvc.Organization{hybridvc.HybridManySeg, hybridvc.HybridManySegSC}
+	var cells []Cell
+	for _, wl := range workloads {
+		for _, org := range orgs {
+			cells = append(cells, Cell{
+				Label:        fmt.Sprintf("ablation-a2/%s/%s", wl, org),
+				Config:       hybridvc.Config{Org: org},
+				Workloads:    []string{wl},
+				Instructions: n,
+			})
+		}
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+
 	t := stats.NewTable("Ablation A2: segment cache on/off",
 		"workload", "many-segment cycles", "+SC cycles", "SC speedup")
-	for _, wl := range []string{"stream", "gups"} {
-		run := func(org hybridvc.Organization) uint64 {
-			sys, err := hybridvc.New(hybridvc.Config{Org: org})
-			if err != nil {
-				panic(err)
-			}
-			if err := sys.LoadWorkload(wl); err != nil {
-				panic(err)
-			}
-			rep, err := sys.Run(n)
-			if err != nil {
-				panic(err)
-			}
-			return rep.Cycles
-		}
-		without := run(hybridvc.HybridManySeg)
-		with := run(hybridvc.HybridManySegSC)
+	for wi, wl := range workloads {
+		without := res[wi*len(orgs)].Report.Cycles
+		with := res[wi*len(orgs)+1].Report.Cycles
 		t.AddRow(wl, fmt.Sprintf("%d", without), fmt.Sprintf("%d", with),
 			fmt.Sprintf("%.3f", float64(without)/float64(with)))
 	}
-	return t
+	return t, nil
+}
+
+// walkStats carries the translator's walk statistics out of a cell.
+type walkStats struct {
+	walks     uint64
+	meanDepth float64
+	maxDepth  uint64
 }
 
 // SegmentWalkLatency reports the delayed many-segment translation latency
 // distribution, validating the paper's ~20-cycle estimate (<=4 index cache
 // probes at 3 cycles plus a 7-cycle segment table access).
-func SegmentWalkLatency(scale Scale) *stats.Table {
+func SegmentWalkLatency(scale Scale) (*stats.Table, error) {
 	n := scale.pick(60_000, 500_000)
-	sys, err := hybridvc.New(hybridvc.Config{Org: hybridvc.HybridManySeg})
+	cells := []Cell{{
+		Label:        "latency/xalancbmk/many-segment",
+		Config:       hybridvc.Config{Org: hybridvc.HybridManySeg},
+		Workloads:    []string{"xalancbmk"},
+		Instructions: n,
+		Extract: func(sys *hybridvc.System, _ sim.Report) (any, error) {
+			tr := sys.Mem.(*core.HybridMMU).Translator()
+			return walkStats{
+				walks:     tr.Walks.Value(),
+				meanDepth: tr.WalkDepth.Mean(),
+				maxDepth:  tr.WalkDepth.Max(),
+			}, nil
+		},
+	}}
+	res, err := runCells(cells)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	if err := sys.LoadWorkload("xalancbmk"); err != nil {
-		panic(err)
-	}
-	if _, err := sys.Run(n); err != nil {
-		panic(err)
-	}
-	tr := sys.Mem.(*core.HybridMMU).Translator()
+	ws := res[0].Value.(walkStats)
+
 	t := stats.NewTable("Delayed many-segment translation walk statistics (Section IV-C)",
 		"metric", "value")
-	t.AddRow("index tree walks", fmt.Sprintf("%d", tr.Walks.Value()))
-	t.AddRow("mean walk depth (nodes)", fmt.Sprintf("%.2f", tr.WalkDepth.Mean()))
-	t.AddRow("max walk depth (nodes)", fmt.Sprintf("%d", tr.WalkDepth.Max()))
-	warmCycles := tr.WalkDepth.Mean()*3 + 7
+	t.AddRow("index tree walks", fmt.Sprintf("%d", ws.walks))
+	t.AddRow("mean walk depth (nodes)", fmt.Sprintf("%.2f", ws.meanDepth))
+	t.AddRow("max walk depth (nodes)", fmt.Sprintf("%d", ws.maxDepth))
+	warmCycles := ws.meanDepth*3 + 7
 	t.AddRow("warm walk latency (cycles)", fmt.Sprintf("%.1f", warmCycles))
 	t.AddRow("paper estimate (cycles)", "<= 19-20")
-	return t
+	return t, nil
 }

@@ -8,8 +8,23 @@ import (
 	"testing"
 )
 
+// skipIfRace skips the heavy simulation shape tests under the race
+// detector: they validate numerics on sizeable instruction windows (10x+
+// slower with -race), while the runner's concurrency is covered by the
+// dedicated tests in runner_test.go.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("heavy shape test skipped under -race")
+	}
+}
+
 func TestTableIShape(t *testing.T) {
-	rows, table := TableI(Quick)
+	skipIfRace(t)
+	rows, table, err := TableI(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -42,7 +57,11 @@ func TestTableIShape(t *testing.T) {
 }
 
 func TestTableIIShape(t *testing.T) {
-	rows, _ := TableII(Quick)
+	skipIfRace(t)
+	rows, _, err := TableII(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]TableIIRow{}
 	for _, r := range rows {
 		byName[r.Workload] = r
@@ -77,7 +96,11 @@ func TestTableIIShape(t *testing.T) {
 }
 
 func TestTableIIIShape(t *testing.T) {
-	rows, _ := TableIII(Quick)
+	skipIfRace(t)
+	rows, _, err := TableIII(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]TableIIIRow{}
 	for _, r := range rows {
 		byName[r.Workload] = r
@@ -113,7 +136,11 @@ func TestTableIIIShape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	series, _ := Figure4(Quick)
+	skipIfRace(t)
+	series, _, err := Figure4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]Figure4Series{}
 	for _, s := range series {
 		byName[s.Workload] = s
@@ -150,7 +177,11 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	a, _ := Figure7a(Quick)
+	skipIfRace(t)
+	a, _, err := Figure7a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range a {
 		// Hit rate must grow (weakly) with size and reach ~90%+ by 8 KiB
 		// for real workloads (paper: "does not suffer misses even with a
@@ -169,7 +200,10 @@ func TestFigure7Shape(t *testing.T) {
 		}
 	}
 
-	b, _ := Figure7b(Quick)
+	b, _, err := Figure7b(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(b) != 3 {
 		t.Fatalf("series = %d", len(b))
 	}
@@ -221,7 +255,11 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	results, _ := Figure9(Quick)
+	skipIfRace(t)
+	results, _, err := Figure9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfgs := Figure9Configs()
 	idx := map[string]int{}
 	for i, c := range cfgs {
@@ -261,7 +299,11 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	results, _ := Figure10(Quick)
+	skipIfRace(t)
+	results, _, err := Figure10(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range results {
 		// The virtualized hybrid must beat the 2D-walk baseline on every
 		// memory-intensive workload (paper: +31.7% on average).
@@ -282,7 +324,11 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	results, _ := Figure11(Quick)
+	skipIfRace(t)
+	results, _, err := Figure11(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sum float64
 	for _, r := range results {
 		if r.Saving <= 0 {
@@ -299,26 +345,43 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
-	a1 := AblationFilterDesign(Quick)
+	skipIfRace(t)
+	a1, err := AblationFilterDesign(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a1.NumRows() != 4 {
 		t.Errorf("A1 rows = %d", a1.NumRows())
 	}
-	a2 := AblationSegmentCache(Quick)
+	a2, err := AblationSegmentCache(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a2.NumRows() != 2 {
 		t.Errorf("A2 rows = %d", a2.NumRows())
 	}
-	a3 := AblationHugePages(Quick)
+	a3, err := AblationHugePages(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a3.NumRows() != 2 {
 		t.Errorf("A3 rows = %d", a3.NumRows())
 	}
-	lat := SegmentWalkLatency(Quick)
+	lat, err := SegmentWalkLatency(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(lat.String(), "walk") {
 		t.Error("latency table malformed")
 	}
 }
 
 func TestMulticoreShape(t *testing.T) {
-	results, _ := Multicore(Quick)
+	skipIfRace(t)
+	results, _, err := Multicore(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(MulticoreMixes) {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -336,7 +399,11 @@ func TestScalePick(t *testing.T) {
 }
 
 func TestAblationSerialParallel(t *testing.T) {
-	a4 := AblationSerialParallel(Quick)
+	skipIfRace(t)
+	a4, err := AblationSerialParallel(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a4.NumRows() != 4 {
 		t.Errorf("A4 rows = %d", a4.NumRows())
 	}

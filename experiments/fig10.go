@@ -23,30 +23,33 @@ type Figure10Result struct {
 // Figure10 reproduces the virtualized performance comparison of Section
 // VI: the hybrid design hides the two-dimensional translation cost behind
 // the LLC (the paper reports +31.7% on memory-intensive workloads).
-func Figure10(scale Scale) ([]Figure10Result, *stats.Table) {
+func Figure10(scale Scale) ([]Figure10Result, *stats.Table, error) {
 	n := scale.pick(40_000, 1_000_000)
-	var results []Figure10Result
+	orgs := []hybridvc.Organization{hybridvc.Virt2D, hybridvc.VirtHybrid}
+	var cells []Cell
 	for _, wl := range Figure10Workloads {
-		run := func(org hybridvc.Organization) uint64 {
-			sys, err := hybridvc.New(hybridvc.Config{
-				Org:        org,
-				PhysBytes:  32 << 30,
-				GuestBytes: 8 << 30,
+		for _, org := range orgs {
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("fig10/%s/%s", wl, org),
+				Config: hybridvc.Config{
+					Org:        org,
+					PhysBytes:  32 << 30,
+					GuestBytes: 8 << 30,
+				},
+				Workloads:    []string{wl},
+				Instructions: n,
 			})
-			if err != nil {
-				panic(fmt.Sprintf("fig10 %s/%s: %v", wl, org, err))
-			}
-			if err := sys.LoadWorkload(wl); err != nil {
-				panic(fmt.Sprintf("fig10 %s: %v", wl, err))
-			}
-			rep, err := sys.Run(n)
-			if err != nil {
-				panic(err)
-			}
-			return rep.Cycles
 		}
-		base := run(hybridvc.Virt2D)
-		hyb := run(hybridvc.VirtHybrid)
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var results []Figure10Result
+	for wi, wl := range Figure10Workloads {
+		base := res[wi*len(orgs)].Report.Cycles
+		hyb := res[wi*len(orgs)+1].Report.Cycles
 		results = append(results, Figure10Result{
 			Workload:      wl,
 			BaselineCycle: base,
@@ -62,5 +65,5 @@ func Figure10(scale Scale) ([]Figure10Result, *stats.Table) {
 			fmt.Sprintf("%d", r.HybridCycle),
 			fmt.Sprintf("%.3f", r.Speedup))
 	}
-	return results, t
+	return results, t, nil
 }

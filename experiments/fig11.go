@@ -24,26 +24,29 @@ type Figure11Result struct {
 // baseline pays a TLB lookup on every reference while the hybrid design
 // pays a Bloom-filter probe and touches large structures only after LLC
 // misses.
-func Figure11(scale Scale) ([]Figure11Result, *stats.Table) {
+func Figure11(scale Scale) ([]Figure11Result, *stats.Table, error) {
 	n := scale.pick(60_000, 1_000_000)
-	var results []Figure11Result
+	orgs := []hybridvc.Organization{hybridvc.Baseline, hybridvc.HybridManySegSC}
+	var cells []Cell
 	for _, wl := range Figure11Workloads {
-		run := func(org hybridvc.Organization) float64 {
-			sys, err := hybridvc.New(hybridvc.Config{Org: org})
-			if err != nil {
-				panic(err)
-			}
-			if err := sys.LoadWorkload(wl); err != nil {
-				panic(fmt.Sprintf("fig11 %s: %v", wl, err))
-			}
-			rep, err := sys.Run(n)
-			if err != nil {
-				panic(err)
-			}
-			return rep.TranslationEnergyPJ
+		for _, org := range orgs {
+			cells = append(cells, Cell{
+				Label:        fmt.Sprintf("fig11/%s/%s", wl, org),
+				Config:       hybridvc.Config{Org: org},
+				Workloads:    []string{wl},
+				Instructions: n,
+			})
 		}
-		base := run(hybridvc.Baseline)
-		hyb := run(hybridvc.HybridManySegSC)
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var results []Figure11Result
+	for wi, wl := range Figure11Workloads {
+		base := res[wi*len(orgs)].Report.TranslationEnergyPJ
+		hyb := res[wi*len(orgs)+1].Report.TranslationEnergyPJ
 		results = append(results, Figure11Result{
 			Workload:   wl,
 			BaselinePJ: base,
@@ -62,5 +65,5 @@ func Figure11(scale Scale) ([]Figure11Result, *stats.Table) {
 		mean.Observe(r.Saving)
 	}
 	t.AddRow("mean", "", "", stats.Percent(mean.Value()))
-	return results, t
+	return results, t, nil
 }

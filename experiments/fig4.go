@@ -26,29 +26,46 @@ type Figure4Series struct {
 
 // Figure4 sweeps the delayed TLB size behind a 2 MiB LLC: for big-memory
 // workloads (gups, milc, mcf) even a 32K-entry delayed TLB barely reduces
-// misses — fixed-granularity delayed translation does not scale.
-func Figure4(scale Scale) ([]Figure4Series, *stats.Table) {
+// misses — fixed-granularity delayed translation does not scale. Each
+// (workload × size) point is one trace-model cell on the sweep runner.
+func Figure4(scale Scale) ([]Figure4Series, *stats.Table, error) {
 	n := scale.pick(150_000, 2_000_000)
-	var series []Figure4Series
+	var cells []Cell
 	for _, name := range Figure4Workloads {
-		spec := workload.Specs[name]
-		s := Figure4Series{Workload: name}
 		for _, size := range Figure4Sizes {
-			k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
-			cfg := core.DefaultHybridConfig(1)
-			cfg.Delayed = core.DelayedPageTLB
-			cfg.DelayedTLBEntries = size
-			ms := core.NewHybridMMU(cfg, k)
-			gens, err := workload.NewGroup(spec, k, 1)
-			if err != nil {
-				panic(fmt.Sprintf("fig4 %s: %v", name, err))
-			}
-			driveMem(ms, gens, n)
-			var insns uint64
-			for _, g := range gens {
-				insns += g.Emitted()
-			}
-			s.MPKI = append(s.MPKI, stats.PerKilo(ms.DelayedTLBMisses.Value(), insns))
+			name, size := name, size
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("fig4/%s/%d", name, size),
+				Fn: func() (any, error) {
+					k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
+					cfg := core.DefaultHybridConfig(1)
+					cfg.Delayed = core.DelayedPageTLB
+					cfg.DelayedTLBEntries = size
+					ms := core.NewHybridMMU(cfg, k)
+					gens, err := workload.NewGroup(workload.Specs[name], k, 1)
+					if err != nil {
+						return nil, fmt.Errorf("fig4 %s: %w", name, err)
+					}
+					driveMem(ms, gens, n)
+					var insns uint64
+					for _, g := range gens {
+						insns += g.Emitted()
+					}
+					return stats.PerKilo(ms.DelayedTLBMisses.Value(), insns), nil
+				},
+			})
+		}
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var series []Figure4Series
+	for wi, name := range Figure4Workloads {
+		s := Figure4Series{Workload: name}
+		for si := range Figure4Sizes {
+			s.MPKI = append(s.MPKI, res[wi*len(Figure4Sizes)+si].Value.(float64))
 		}
 		base := s.MPKI[0]
 		for _, m := range s.MPKI {
@@ -72,5 +89,5 @@ func Figure4(scale Scale) ([]Figure4Series, *stats.Table) {
 		}
 		t.AddRow(row...)
 	}
-	return series, t
+	return series, t, nil
 }

@@ -29,61 +29,130 @@ type Figure7Series struct {
 // is injected by splitting every segment into ten pieces.
 var figure7SingleWorkloads = []string{"mcf", "xalancbmk", "tigr", "omnetpp", "memcached"}
 
+// fig7aCell measures one (workload set × index cache size) point: hybrid
+// MMU with the segment cache disabled, x10 external fragmentation.
+func fig7aCell(names []string, cores, size int, n uint64) (float64, error) {
+	k := osmodel.NewKernel(osmodel.Config{PhysBytes: 32 << 30})
+	cfg := core.DefaultHybridConfig(cores)
+	cfg.Delayed = core.DelayedSegments
+	cfg.WithSegmentCache = false // expose the index cache
+	cfg.IndexCacheBytes = size
+	ms := core.NewHybridMMU(cfg, k)
+	var gens []*workload.Generator
+	for _, name := range names {
+		g, err := workload.NewGroup(workload.Specs[name], k, 1)
+		if err != nil {
+			return 0, fmt.Errorf("fig7a %s: %w", name, err)
+		}
+		gens = append(gens, g...)
+	}
+	// Inject external fragmentation: up to x10 segments per region, capped
+	// so the 2048-entry segment table holds the result.
+	if factor := fragmentFactor(k.MaxSegments()); factor >= 2 {
+		for _, g := range gens {
+			if err := k.FragmentSegments(g.Proc, factor); err != nil {
+				return 0, fmt.Errorf("fig7a fragmentation: %w", err)
+			}
+		}
+	}
+	driveMem(ms, gens, n)
+	return ms.Translator().IC.Stats().HitRate(), nil
+}
+
 // Figure7a measures index cache hit rates for real workloads (single
 // applications and a quad-core multiprogrammed mix), with each segment
 // artificially broken into 10 to add external fragmentation.
-func Figure7a(scale Scale) ([]Figure7Series, *stats.Table) {
+func Figure7a(scale Scale) ([]Figure7Series, *stats.Table, error) {
 	n := scale.pick(60_000, 1_000_000)
 	sizes := Figure7Sizes
 	if scale == Quick {
 		sizes = []int{64, 512, 2 << 10, 8 << 10, 32 << 10, 64 << 10}
 	}
-	var series []Figure7Series
-
-	runOne := func(label string, names []string, cores int) {
-		s := Figure7Series{Label: label, Sizes: sizes}
-		for _, size := range sizes {
-			k := osmodel.NewKernel(osmodel.Config{PhysBytes: 32 << 30})
-			cfg := core.DefaultHybridConfig(cores)
-			cfg.Delayed = core.DelayedSegments
-			cfg.WithSegmentCache = false // expose the index cache
-			cfg.IndexCacheBytes = size
-			ms := core.NewHybridMMU(cfg, k)
-			var gens []*workload.Generator
-			for _, name := range names {
-				g, err := workload.NewGroup(workload.Specs[name], k, 1)
-				if err != nil {
-					panic(fmt.Sprintf("fig7a %s: %v", name, err))
-				}
-				gens = append(gens, g...)
-			}
-			// Inject external fragmentation: up to x10 segments per
-			// region, capped so the 2048-entry segment table holds the
-			// result.
-			if factor := fragmentFactor(k.MaxSegments()); factor >= 2 {
-				for _, g := range gens {
-					if err := k.FragmentSegments(g.Proc, factor); err != nil {
-						panic(fmt.Sprintf("fig7a fragmentation: %v", err))
-					}
-				}
-			}
-			driveMem(ms, gens, n)
-			s.HitRates = append(s.HitRates, ms.Translator().IC.Stats().HitRate())
-		}
-		series = append(series, s)
-	}
-
 	singles := figure7SingleWorkloads
 	if scale == Quick {
 		singles = []string{"mcf", "xalancbmk", "omnetpp"}
 	}
-	for _, name := range singles {
-		runOne(name, []string{name}, 1)
+	type curve struct {
+		label string
+		names []string
+		cores int
 	}
-	runOne("multi (quad-core mix)", []string{"mcf", "xalancbmk", "omnetpp", "tigr"}, 4)
+	var curves []curve
+	for _, name := range singles {
+		curves = append(curves, curve{name, []string{name}, 1})
+	}
+	curves = append(curves, curve{"multi (quad-core mix)", []string{"mcf", "xalancbmk", "omnetpp", "tigr"}, 4})
 
+	var cells []Cell
+	for _, cv := range curves {
+		for _, size := range sizes {
+			cv, size := cv, size
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("fig7a/%s/%d", cv.label, size),
+				Fn: func() (any, error) {
+					return fig7aCell(cv.names, cv.cores, size, n)
+				},
+			})
+		}
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var series []Figure7Series
+	for ci, cv := range curves {
+		s := Figure7Series{Label: cv.label, Sizes: sizes}
+		for si := range sizes {
+			s.HitRates = append(s.HitRates, res[ci*len(sizes)+si].Value.(float64))
+		}
+		series = append(series, s)
+	}
 	t := figure7Table("Figure 7a: index cache hit rate, real workloads (x10 fragmentation)", sizes, series)
-	return series, t
+	return series, t, nil
+}
+
+// fig7bCell measures one synthetic worst-case point: segs equal segments
+// over a 40-bit space, probed uniformly at random through an index cache
+// of the given size.
+func fig7bCell(segs int, incremental bool, size int, n uint64) (float64, error) {
+	alloc := mem.NewAllocator(1 << 34)
+	mgr := segment.NewManager(segment.NewNodeArena(alloc))
+	ic := segment.NewIndexCache(size)
+	mgr.OnRebuild = ic.Flush
+	asid := addr.MakeASID(0, 1)
+	// Distribute the 40-bit space over the segments.
+	segLen := uint64(1<<40) / uint64(segs)
+	entries := make([]segment.TreeEntry, 0, segs)
+	for i := 0; i < segs; i++ {
+		seg := &segment.Segment{
+			ASID: asid, Base: addr.VA(uint64(i) * segLen),
+			Length: segLen, PABase: 0, Perm: addr.PermRW,
+		}
+		id, ok := mgr.Table.Alloc(seg)
+		if !ok {
+			return 0, fmt.Errorf("fig7b: table full at %d segments", i)
+		}
+		entries = append(entries, segment.TreeEntry{
+			Key: segment.MakeKey(asid, seg.Base), Value: id,
+		})
+	}
+	if incremental {
+		// Insert in shuffled order, as an OS would allocate.
+		for _, i := range rand.New(rand.NewSource(19)).Perm(len(entries)) {
+			if err := mgr.Tree.Insert(entries[i]); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		mgr.Tree.Build(entries)
+	}
+	tr := segment.NewTranslator(segment.DefaultTranslatorConfig(), nil, ic, mgr)
+	rng := rand.New(rand.NewSource(17))
+	for i := uint64(0); i < n; i++ {
+		tr.Translate(asid, addr.VA(rng.Uint64()&(1<<40-1)))
+	}
+	return ic.Stats().HitRate(), nil
 }
 
 // Figure7b measures the worst case: 1024 or 2048 equally sized segments
@@ -92,10 +161,9 @@ func Figure7a(scale Scale) ([]Figure7Series, *stats.Table) {
 // perfectly packed tree (≈25 KiB — it fits a 32 KiB index cache entirely)
 // and an incrementally maintained tree at its natural ~2/3 fill factor,
 // which reproduces the paper's 75.5%-at-32 KiB figure.
-func Figure7b(scale Scale) ([]Figure7Series, *stats.Table) {
+func Figure7b(scale Scale) ([]Figure7Series, *stats.Table, error) {
 	n := scale.pick(200_000, 1_000_000)
-	var series []Figure7Series
-	for _, cfg := range []struct {
+	curves := []struct {
 		label       string
 		segs        int
 		incremental bool
@@ -103,51 +171,34 @@ func Figure7b(scale Scale) ([]Figure7Series, *stats.Table) {
 		{"1024 entry", 1024, false},
 		{"2048 entry", 2048, false},
 		{"2048 entry (incremental tree)", 2048, true},
-	} {
-		s := Figure7Series{Label: cfg.label, Sizes: Figure7Sizes}
+	}
+	var cells []Cell
+	for _, cv := range curves {
 		for _, size := range Figure7Sizes {
-			alloc := mem.NewAllocator(1 << 34)
-			mgr := segment.NewManager(segment.NewNodeArena(alloc))
-			ic := segment.NewIndexCache(size)
-			mgr.OnRebuild = ic.Flush
-			asid := addr.MakeASID(0, 1)
-			// Distribute the 40-bit space over the segments.
-			segLen := uint64(1<<40) / uint64(cfg.segs)
-			entries := make([]segment.TreeEntry, 0, cfg.segs)
-			for i := 0; i < cfg.segs; i++ {
-				seg := &segment.Segment{
-					ASID: asid, Base: addr.VA(uint64(i) * segLen),
-					Length: segLen, PABase: 0, Perm: addr.PermRW,
-				}
-				id, ok := mgr.Table.Alloc(seg)
-				if !ok {
-					panic("fig7b: table full")
-				}
-				entries = append(entries, segment.TreeEntry{
-					Key: segment.MakeKey(asid, seg.Base), Value: id,
-				})
-			}
-			if cfg.incremental {
-				// Insert in shuffled order, as an OS would allocate.
-				for _, i := range rand.New(rand.NewSource(19)).Perm(len(entries)) {
-					if err := mgr.Tree.Insert(entries[i]); err != nil {
-						panic(err)
-					}
-				}
-			} else {
-				mgr.Tree.Build(entries)
-			}
-			tr := segment.NewTranslator(segment.DefaultTranslatorConfig(), nil, ic, mgr)
-			rng := rand.New(rand.NewSource(17))
-			for i := uint64(0); i < n; i++ {
-				tr.Translate(asid, addr.VA(rng.Uint64()&(1<<40-1)))
-			}
-			s.HitRates = append(s.HitRates, ic.Stats().HitRate())
+			cv, size := cv, size
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("fig7b/%s/%d", cv.label, size),
+				Fn: func() (any, error) {
+					return fig7bCell(cv.segs, cv.incremental, size, n)
+				},
+			})
+		}
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var series []Figure7Series
+	for ci, cv := range curves {
+		s := Figure7Series{Label: cv.label, Sizes: Figure7Sizes}
+		for si := range Figure7Sizes {
+			s.HitRates = append(s.HitRates, res[ci*len(Figure7Sizes)+si].Value.(float64))
 		}
 		series = append(series, s)
 	}
 	t := figure7Table("Figure 7b: index cache hit rate, synthetic worst case (uniform random)", Figure7Sizes, series)
-	return series, t
+	return series, t, nil
 }
 
 // fragmentFactor picks the largest split factor (<= 10, the paper's x10)

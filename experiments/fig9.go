@@ -43,33 +43,41 @@ type Figure9Result struct {
 }
 
 // Figure9 runs the full native performance comparison with the timing
-// cores and reports speedup over the physically addressed baseline.
-func Figure9(scale Scale) ([]Figure9Result, *stats.Table) {
+// cores and reports speedup over the physically addressed baseline. The
+// (workload × configuration) grid runs as independent cells on the
+// parallel sweep runner.
+func Figure9(scale Scale) ([]Figure9Result, *stats.Table, error) {
 	n := scale.pick(40_000, 1_000_000)
 	workloads := Figure9Workloads
 	if scale == Quick {
 		workloads = workloads[:4]
 	}
 	cfgs := Figure9Configs()
-	var results []Figure9Result
+
+	var cells []Cell
 	for _, wl := range workloads {
-		r := Figure9Result{Workload: wl}
 		for _, c := range cfgs {
-			sys, err := hybridvc.New(hybridvc.Config{
-				Org:               c.Org,
-				DelayedTLBEntries: c.DelayedTLBEntries,
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("fig9/%s/%s", wl, c.Label),
+				Config: hybridvc.Config{
+					Org:               c.Org,
+					DelayedTLBEntries: c.DelayedTLBEntries,
+				},
+				Workloads:    []string{wl},
+				Instructions: n,
 			})
-			if err != nil {
-				panic(fmt.Sprintf("fig9 %s/%s: %v", wl, c.Label, err))
-			}
-			if err := sys.LoadWorkload(wl); err != nil {
-				panic(fmt.Sprintf("fig9 %s: %v", wl, err))
-			}
-			rep, err := sys.Run(n)
-			if err != nil {
-				panic(err)
-			}
-			r.Cycles = append(r.Cycles, rep.Cycles)
+		}
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var results []Figure9Result
+	for wi, wl := range workloads {
+		r := Figure9Result{Workload: wl}
+		for ci := range cfgs {
+			r.Cycles = append(r.Cycles, res[wi*len(cfgs)+ci].Report.Cycles)
 		}
 		base := float64(r.Cycles[0])
 		for _, cy := range r.Cycles {
@@ -103,5 +111,5 @@ func Figure9(scale Scale) ([]Figure9Result, *stats.Table) {
 		row = append(row, fmt.Sprintf("%.3f", g))
 	}
 	t.AddRow(row...)
-	return results, t
+	return results, t, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"hybridvc"
 	"hybridvc/internal/stats"
@@ -28,37 +29,31 @@ type MulticoreResult struct {
 // hybrid design. The shared LLC and the single shared index cache /
 // segment table are the contended resources (the paper notes one index
 // cache and segment table serve all cores).
-func Multicore(scale Scale) ([]MulticoreResult, *stats.Table) {
+func Multicore(scale Scale) ([]MulticoreResult, *stats.Table, error) {
 	n := scale.pick(25_000, 500_000)
-	var results []MulticoreResult
+	orgs := []hybridvc.Organization{hybridvc.Baseline, hybridvc.HybridManySegSC}
+	var cells []Cell
 	for _, mix := range MulticoreMixes {
-		label := ""
-		for i, wl := range mix {
-			if i > 0 {
-				label += "+"
-			}
-			label += wl
+		for _, org := range orgs {
+			cells = append(cells, Cell{
+				Label:        fmt.Sprintf("multicore/%s/%s", strings.Join(mix, "+"), org),
+				Config:       hybridvc.Config{Org: org, Cores: 4},
+				Workloads:    mix,
+				Instructions: n,
+			})
 		}
-		run := func(org hybridvc.Organization) uint64 {
-			sys, err := hybridvc.New(hybridvc.Config{Org: org, Cores: 4})
-			if err != nil {
-				panic(err)
-			}
-			for _, wl := range mix {
-				if err := sys.LoadWorkload(wl); err != nil {
-					panic(fmt.Sprintf("multicore %s: %v", wl, err))
-				}
-			}
-			rep, err := sys.Run(n)
-			if err != nil {
-				panic(err)
-			}
-			return rep.Cycles
-		}
-		base := run(hybridvc.Baseline)
-		hyb := run(hybridvc.HybridManySegSC)
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var results []MulticoreResult
+	for mi, mix := range MulticoreMixes {
+		base := res[mi*len(orgs)].Report.Cycles
+		hyb := res[mi*len(orgs)+1].Report.Cycles
 		results = append(results, MulticoreResult{
-			Mix: label, Baseline: base, Hybrid: hyb,
+			Mix: strings.Join(mix, "+"), Baseline: base, Hybrid: hyb,
 			Speedup: float64(base) / float64(hyb),
 		})
 	}
@@ -68,5 +63,5 @@ func Multicore(scale Scale) ([]MulticoreResult, *stats.Table) {
 		t.AddRow(r.Mix, fmt.Sprintf("%d", r.Baseline), fmt.Sprintf("%d", r.Hybrid),
 			fmt.Sprintf("%.3f", r.Speedup))
 	}
-	return results, t
+	return results, t, nil
 }

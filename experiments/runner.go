@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridvc"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/workload"
+)
+
+// Cell is one independent job of an experiment sweep: typically one
+// (organization × workload) design point. Most cells describe a complete
+// system run — a hybridvc.Config, the workloads to load, and an
+// instruction budget — and yield a sim.Report; experiments that need the
+// trace model or custom plumbing instead supply Fn, which replaces the
+// system path entirely. Cells must be self-contained: they run
+// concurrently on a worker pool and may not share mutable state.
+type Cell struct {
+	// Label identifies the cell in errors and progress output
+	// (e.g. "fig9/gups/many-segment+sc").
+	Label string
+
+	// Config assembles the system under test (system-path cells). The
+	// zero Config gets the facade defaults, including Seed=1; set
+	// Config.Seed for a per-cell seed.
+	Config hybridvc.Config
+	// Workloads are loaded into the system in order (multi-entry for
+	// multiprogrammed mixes).
+	Workloads []string
+	// Specs are custom workload specs loaded after Workloads (used when a
+	// named spec needs modification, e.g. forcing huge pages).
+	Specs []workload.Spec
+	// Instructions is the per-core instruction budget for Run.
+	Instructions uint64
+	// Extract, when set, post-processes the finished system inside the
+	// worker (while the system is still alive) and becomes the cell's
+	// Value. Without it the Value is nil and the Report carries the data.
+	Extract func(sys *hybridvc.System, rep sim.Report) (any, error)
+
+	// Fn, when set, replaces the system path: the cell runs Fn and stores
+	// its result as the Value (Report stays zero).
+	Fn func() (any, error)
+}
+
+// CellResult is one cell's outcome, slotted at the cell's input index.
+type CellResult struct {
+	// Report is the simulation report for system-path cells.
+	Report sim.Report
+	// Value is the Extract or Fn result.
+	Value any
+}
+
+// defaultJobs is the worker-pool width used by every experiment; it
+// defaults to GOMAXPROCS so full sweeps scale with the host. Results are
+// index-slotted, so tables are identical regardless of the value.
+var defaultJobs atomic.Int64
+
+func init() { defaultJobs.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetJobs sets the worker count used by subsequent experiment runs.
+// Values below 1 reset to GOMAXPROCS. It returns the previous setting.
+func SetJobs(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(defaultJobs.Swap(int64(n)))
+}
+
+// Jobs returns the current worker count.
+func Jobs() int { return int(defaultJobs.Load()) }
+
+// progressFn, when set, observes cell completions (done so far, total,
+// finished cell's label and elapsed time). Used by tablegen for live
+// sweep progress; nil by default.
+var progressMu sync.Mutex
+var progressFn func(done, total int, label string, elapsed time.Duration)
+
+// SetProgress installs a completion observer for subsequent runs (nil
+// disables). The callback may fire from multiple worker goroutines but
+// never concurrently.
+func SetProgress(fn func(done, total int, label string, elapsed time.Duration)) {
+	progressMu.Lock()
+	progressFn = fn
+	progressMu.Unlock()
+}
+
+// runCells executes the cells on a pool of Jobs() workers and returns
+// their results in input order. A cell that fails — via returned error or
+// recovered panic — leaves its slot's Value nil; all failures are joined
+// into the returned error. Because results are index-slotted and cells
+// are isolated, the output is identical for any worker count.
+func runCells(cells []Cell) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	cellErrs := make([]error, len(cells))
+	if len(cells) == 0 {
+		return results, nil
+	}
+	jobs := Jobs()
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+
+	var done atomic.Int64
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				results[i], cellErrs[i] = runOneCell(cells[i])
+				n := int(done.Add(1))
+				progressMu.Lock()
+				if progressFn != nil {
+					progressFn(n, len(cells), cells[i].Label, time.Since(start))
+				}
+				progressMu.Unlock()
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errors.Join(cellErrs...)
+}
+
+// runOneCell executes a single cell, converting any panic into an error
+// so one bad design point cannot abort a whole sweep.
+func runOneCell(c Cell) (res CellResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell %q: panic: %v\n%s", c.Label, r, debug.Stack())
+		}
+	}()
+	if c.Fn != nil {
+		v, ferr := c.Fn()
+		if ferr != nil {
+			return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, ferr)
+		}
+		return CellResult{Value: v}, nil
+	}
+	sys, err := hybridvc.New(c.Config)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, err)
+	}
+	for _, wl := range c.Workloads {
+		if err := sys.LoadWorkload(wl); err != nil {
+			return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, err)
+		}
+	}
+	for _, spec := range c.Specs {
+		if err := sys.LoadSpec(spec); err != nil {
+			return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, err)
+		}
+	}
+	rep, err := sys.Run(c.Instructions)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, err)
+	}
+	res = CellResult{Report: rep}
+	if c.Extract != nil {
+		v, xerr := c.Extract(sys, rep)
+		if xerr != nil {
+			return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, xerr)
+		}
+		res.Value = v
+	}
+	return res, nil
+}

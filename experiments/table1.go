@@ -31,36 +31,50 @@ var tableIWorkloads = []struct {
 	{"Remaining Parsec", "stream"}, // representative: no r/w sharing
 }
 
-// TableI reproduces Table I by instantiating each workload's processes and
-// sampling its access stream.
-func TableI(scale Scale) ([]TableIRow, *stats.Table) {
+// TableI reproduces Table I by instantiating each workload's processes
+// and sampling its access stream; one runner cell per workload.
+func TableI(scale Scale) ([]TableIRow, *stats.Table, error) {
 	n := scale.pick(100_000, 2_000_000)
-	var rows []TableIRow
+	var cells []Cell
 	for _, w := range tableIWorkloads {
-		spec := workload.Specs[w.spec]
-		k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
-		gens, err := workload.NewGroup(spec, k, 1)
-		if err != nil {
-			panic(fmt.Sprintf("table1 %s: %v", w.row, err))
-		}
-		var area, access stats.Mean
-		for _, g := range gens {
-			for i := uint64(0); i < n; i++ {
-				g.Next()
-			}
-			area.Observe(g.Proc.SharedAreaRatio())
-			access.Observe(g.Proc.SharedAccessRatio())
-		}
-		rows = append(rows, TableIRow{
-			Workload:     w.row,
-			SharedArea:   area.Value(),
-			SharedAccess: access.Value(),
+		w := w
+		cells = append(cells, Cell{
+			Label: "table1/" + w.row,
+			Fn: func() (any, error) {
+				k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
+				gens, err := workload.NewGroup(workload.Specs[w.spec], k, 1)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s: %w", w.row, err)
+				}
+				var area, access stats.Mean
+				for _, g := range gens {
+					for i := uint64(0); i < n; i++ {
+						g.Next()
+					}
+					area.Observe(g.Proc.SharedAreaRatio())
+					access.Observe(g.Proc.SharedAccessRatio())
+				}
+				return TableIRow{
+					Workload:     w.row,
+					SharedArea:   area.Value(),
+					SharedAccess: access.Value(),
+				}, nil
+			},
 		})
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var rows []TableIRow
+	for _, r := range res {
+		rows = append(rows, r.Value.(TableIRow))
 	}
 	t := stats.NewTable("Table I: ratio of r/w shared memory area and accesses to the r/w shared regions",
 		"workload", "shared area", "shared access")
 	for _, r := range rows {
 		t.AddRow(r.Workload, stats.Percent(r.SharedArea), stats.Percent(r.SharedAccess))
 	}
-	return rows, t
+	return rows, t, nil
 }

@@ -22,60 +22,79 @@ type TableIIRow struct {
 
 var tableIIWorkloads = []string{"ferret", "postgres", "specjbb", "firefox", "apache"}
 
+// tableIICell runs one workload through both the proposed hybrid and the
+// conventional baseline trace models and compares their TLB behavior.
+func tableIICell(name string, n uint64) (TableIIRow, error) {
+	const llc = 8 << 20
+	spec := workload.Specs[name]
+
+	// Proposed: hybrid with page-granularity delayed translation.
+	kh := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
+	hcfg := core.DefaultHybridConfig(1)
+	hcfg.Hier.LLC.SizeBytes = llc
+	hcfg.Delayed = core.DelayedPageTLB
+	hcfg.DelayedTLBEntries = 1024
+	hybrid := core.NewHybridMMU(hcfg, kh)
+	hgens, err := workload.NewGroup(spec, kh, 1)
+	if err != nil {
+		return TableIIRow{}, fmt.Errorf("table2 %s: %w", name, err)
+	}
+	driveMem(hybrid, hgens, n)
+
+	// Baseline: conventional two-level TLB.
+	kb := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
+	bcfg := baseline.DefaultConfig(1)
+	bcfg.Hier.LLC.SizeBytes = llc
+	base := baseline.NewConventional(bcfg, kb)
+	bgens, err := workload.NewGroup(spec, kb, 1)
+	if err != nil {
+		return TableIIRow{}, fmt.Errorf("table2 %s: %w", name, err)
+	}
+	driveMem(base, bgens, n)
+
+	totalRefs := hybrid.SynonymCandidates.Value() + hybrid.NonSynonymAccesses.Value()
+	var synTLBAccesses, synTLBMisses uint64
+	for c := 0; c < 1; c++ {
+		synTLBAccesses += hybrid.SynTLB(c).Stats.Accesses()
+		synTLBMisses += hybrid.SynTLB(c).Stats.Misses.Value()
+	}
+	var baseAccesses, baseMisses uint64
+	for c := 0; c < 1; c++ {
+		baseAccesses += base.TLB(c).Accesses()
+		baseMisses += base.TLB(c).Misses()
+	}
+	proposedMisses := synTLBMisses + hybrid.DelayedTLBMisses.Value()
+
+	return TableIIRow{
+		Workload:          name,
+		FalsePositiveRate: stats.Ratio(hybrid.FalsePositives.Value(), totalRefs),
+		AccessReduction:   1 - stats.Ratio(synTLBAccesses, baseAccesses),
+		MissReduction:     1 - stats.Ratio(proposedMisses, baseMisses),
+	}, nil
+}
+
 // TableII reproduces the Table II trace-based study: an 8 MiB cache
 // filters translation requests; the proposed system uses a 64-entry
 // synonym TLB plus a 1024-entry delayed TLB (equal total TLB area to the
-// baseline's 64-entry L1 + 1024-entry L2).
-func TableII(scale Scale) ([]TableIIRow, *stats.Table) {
+// baseline's 64-entry L1 + 1024-entry L2). One runner cell per workload.
+func TableII(scale Scale) ([]TableIIRow, *stats.Table, error) {
 	n := scale.pick(150_000, 3_000_000)
-	const llc = 8 << 20
-	var rows []TableIIRow
+	var cells []Cell
 	for _, name := range tableIIWorkloads {
-		spec := workload.Specs[name]
-
-		// Proposed: hybrid with page-granularity delayed translation.
-		kh := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
-		hcfg := core.DefaultHybridConfig(1)
-		hcfg.Hier.LLC.SizeBytes = llc
-		hcfg.Delayed = core.DelayedPageTLB
-		hcfg.DelayedTLBEntries = 1024
-		hybrid := core.NewHybridMMU(hcfg, kh)
-		hgens, err := workload.NewGroup(spec, kh, 1)
-		if err != nil {
-			panic(fmt.Sprintf("table2 %s: %v", name, err))
-		}
-		driveMem(hybrid, hgens, n)
-
-		// Baseline: conventional two-level TLB.
-		kb := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
-		bcfg := baseline.DefaultConfig(1)
-		bcfg.Hier.LLC.SizeBytes = llc
-		base := baseline.NewConventional(bcfg, kb)
-		bgens, err := workload.NewGroup(spec, kb, 1)
-		if err != nil {
-			panic(fmt.Sprintf("table2 %s: %v", name, err))
-		}
-		driveMem(base, bgens, n)
-
-		totalRefs := hybrid.SynonymCandidates.Value() + hybrid.NonSynonymAccesses.Value()
-		var synTLBAccesses, synTLBMisses uint64
-		for c := 0; c < 1; c++ {
-			synTLBAccesses += hybrid.SynTLB(c).Stats.Accesses()
-			synTLBMisses += hybrid.SynTLB(c).Stats.Misses.Value()
-		}
-		var baseAccesses, baseMisses uint64
-		for c := 0; c < 1; c++ {
-			baseAccesses += base.TLB(c).Accesses()
-			baseMisses += base.TLB(c).Misses()
-		}
-		proposedMisses := synTLBMisses + hybrid.DelayedTLBMisses.Value()
-
-		rows = append(rows, TableIIRow{
-			Workload:          name,
-			FalsePositiveRate: stats.Ratio(hybrid.FalsePositives.Value(), totalRefs),
-			AccessReduction:   1 - stats.Ratio(synTLBAccesses, baseAccesses),
-			MissReduction:     1 - stats.Ratio(proposedMisses, baseMisses),
+		name := name
+		cells = append(cells, Cell{
+			Label: "table2/" + name,
+			Fn:    func() (any, error) { return tableIICell(name, n) },
 		})
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var rows []TableIIRow
+	for _, r := range res {
+		rows = append(rows, r.Value.(TableIIRow))
 	}
 	t := stats.NewTable("Table II: false positive rates, TLB access and miss reduction",
 		"workload", "false positive rate", "TLB access reduction", "total TLB miss reduction")
@@ -85,5 +104,5 @@ func TableII(scale Scale) ([]TableIIRow, *stats.Table) {
 			fmt.Sprintf("%.1f%%", 100*r.AccessReduction),
 			fmt.Sprintf("%.1f%%", 100*r.MissReduction))
 	}
-	return rows, t
+	return rows, t, nil
 }

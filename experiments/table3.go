@@ -26,35 +26,50 @@ var tableIIIWorkloads = []string{
 
 // TableIII reproduces Table III. Segment counts come from the OS model's
 // eager allocation; RMM MPKI from replaying the access stream against a
-// 32-entry range TLB; utilization from full-run touch accounting.
-func TableIII(scale Scale) ([]TableIIIRow, *stats.Table) {
+// 32-entry range TLB; utilization from full-run touch accounting. One
+// runner cell per workload.
+func TableIII(scale Scale) ([]TableIIIRow, *stats.Table, error) {
 	n := scale.pick(120_000, 2_000_000)
-	var rows []TableIIIRow
+	var cells []Cell
 	for _, name := range tableIIIWorkloads {
-		spec := workload.Specs[name]
-		k := osmodel.NewKernel(osmodel.Config{PhysBytes: 32 << 30})
-		rmm := baseline.NewRMM(baseline.DefaultConfig(1), k)
-		gens, err := workload.NewGroup(spec, k, 1)
-		if err != nil {
-			panic(fmt.Sprintf("table3 %s: %v", name, err))
-		}
-		driveMem(rmm, gens, n)
-		var misses, insns uint64
-		for _, g := range gens {
-			insns += g.Emitted()
-			g.PrewarmTouch() // model the full run for utilization
-		}
-		misses = rmm.Range(0).Misses()
-		var util stats.Mean
-		for _, g := range gens {
-			util.Observe(g.Proc.Utilization())
-		}
-		rows = append(rows, TableIIIRow{
-			Workload:    name,
-			Segments:    k.MaxSegments(),
-			RMMMPKI:     stats.PerKilo(misses, insns),
-			Utilization: util.Value(),
+		name := name
+		cells = append(cells, Cell{
+			Label: "table3/" + name,
+			Fn: func() (any, error) {
+				k := osmodel.NewKernel(osmodel.Config{PhysBytes: 32 << 30})
+				rmm := baseline.NewRMM(baseline.DefaultConfig(1), k)
+				gens, err := workload.NewGroup(workload.Specs[name], k, 1)
+				if err != nil {
+					return nil, fmt.Errorf("table3 %s: %w", name, err)
+				}
+				driveMem(rmm, gens, n)
+				var insns uint64
+				for _, g := range gens {
+					insns += g.Emitted()
+					g.PrewarmTouch() // model the full run for utilization
+				}
+				misses := rmm.Range(0).Misses()
+				var util stats.Mean
+				for _, g := range gens {
+					util.Observe(g.Proc.Utilization())
+				}
+				return TableIIIRow{
+					Workload:    name,
+					Segments:    k.MaxSegments(),
+					RMMMPKI:     stats.PerKilo(misses, insns),
+					Utilization: util.Value(),
+				}, nil
+			},
 		})
+	}
+	res, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var rows []TableIIIRow
+	for _, r := range res {
+		rows = append(rows, r.Value.(TableIIIRow))
 	}
 	t := stats.NewTable("Table III: maximum segments in use, RMM (32-range) MPKI, memory utilization",
 		"workload", "segments", "RMM MPKI", "usage (%)")
@@ -64,5 +79,5 @@ func TableIII(scale Scale) ([]TableIIIRow, *stats.Table) {
 			fmt.Sprintf("%.3f", r.RMMMPKI),
 			fmt.Sprintf("%.1f", 100*r.Utilization))
 	}
-	return rows, t
+	return rows, t, nil
 }

@@ -249,6 +249,16 @@ func (s *System) LoadSpec(spec workload.Spec) error {
 func (s *System) Generators() []*workload.Generator { return s.gens }
 
 // Run simulates n instructions per core and returns the report.
+//
+// Repeated calls CONTINUE the loaded workloads: generators keep their
+// stream position (and the memory system keeps its warmed caches, TLBs
+// and page tables), while a fresh sim.Simulator — fresh timing cores and
+// cycle counts — is built for each call. Two back-to-back Run(n) calls
+// therefore measure a cold window followed by a warm window of the same
+// stream, not the same window twice; the second report's cycle count is
+// not comparable to a fresh system's. For independent, reproducible
+// measurements build a new System per run (the experiment registry's
+// sweep cells do exactly that).
 func (s *System) Run(n uint64) (sim.Report, error) {
 	if len(s.gens) == 0 {
 		return sim.Report{}, fmt.Errorf("hybridvc: no workload loaded")

@@ -89,3 +89,54 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Error("nondeterministic facade runs")
 	}
 }
+
+// TestRunContinuation pins the documented semantics of repeated Run
+// calls: generators continue their stream (a new simulator is built, but
+// workload position and memory-system state carry over), so back-to-back
+// runs advance through the workload instead of replaying it.
+func TestRunContinuation(t *testing.T) {
+	sys, err := New(Config{Org: HybridManySegSC, LLCBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadWorkload("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sys.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := sys.Generators()[0].Emitted()
+	firstSim := sys.LastSim
+	r2, err := sys.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := sys.Generators()[0].Emitted()
+	if afterSecond <= afterFirst {
+		t.Errorf("generator did not continue: emitted %d then %d", afterFirst, afterSecond)
+	}
+	if sys.LastSim == firstSim {
+		t.Error("second Run reused the first simulator")
+	}
+	// Each simulator counts only its own window.
+	if r1.Instructions != 5000 || r2.Instructions != 5000 {
+		t.Errorf("per-run instruction counts: %d, %d, want 5000 each", r1.Instructions, r2.Instructions)
+	}
+	// A fresh system replaying the same seed reproduces the first window
+	// exactly — continuation, by contrast, ran a different window.
+	fresh, err := New(Config{Org: HybridManySegSC, LLCBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadWorkload("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := fresh.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Cycles != r1.Cycles {
+		t.Errorf("fresh system first window: %d cycles, want %d", f1.Cycles, r1.Cycles)
+	}
+}

@@ -202,8 +202,15 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row; short rows are padded with empty cells.
+// AddRow appends a row; short rows are padded with empty cells. It panics
+// when given more cells than the table has columns — like histogram
+// bounds, a table's shape is fixed at construction by the experiment
+// definition, and dropping surplus cells would silently corrupt results.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("stats: AddRow got %d cells for %d columns in table %q",
+			len(cells), len(t.Columns), t.Title))
+	}
 	row := make([]string, len(t.Columns))
 	copy(row, cells)
 	t.rows = append(t.rows, row)

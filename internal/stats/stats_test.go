@@ -193,3 +193,16 @@ func TestTableWriteCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", buf.String(), want)
 	}
 }
+
+func TestAddRowRejectsOverflow(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRow accepted more cells than columns")
+		}
+		if tb.NumRows() != 0 {
+			t.Error("overflowing row was recorded")
+		}
+	}()
+	tb.AddRow("1", "2", "3") // one cell too many — must panic, not truncate
+}
