@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci bench sweep sweep-full clean
+.PHONY: all build test race vet ci parity bench bench-hotpath bench-all sweep sweep-full clean
 
 all: build
 
@@ -23,13 +23,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet test race
+ci: vet test race parity
+
+# parity runs the golden refactor gate on its own: every organization's
+# full stat table must stay byte-identical to the recorded golden file,
+# at jobs=1 and jobs=8.
+parity:
+	$(GO) test -run TestGoldenParity -count=1 ./experiments
 
 # bench runs the per-experiment benchmarks and the full-sweep benchmark,
 # which writes BENCH_sweep.json (wall-clock seconds per Quick sweep) for
 # tracking the perf trajectory.
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkQuickFullSweep -benchtime=1x .
+
+# bench-hotpath compares the scalar and batched access paths on every
+# organization and writes BENCH_hotpath.json (refs/sec per organization
+# plus the speedup over the recorded pre-refactor scalar baseline).
+bench-hotpath:
+	$(GO) test -run=NONE -bench=BenchmarkHotPath -benchtime=1x .
 
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem .
@@ -42,5 +54,7 @@ sweep:
 sweep-full:
 	$(GO) run ./cmd/tablegen -exp all -full
 
+# BENCH_hotpath.json is checked in as the recorded hot-path trajectory,
+# so clean leaves it alone; bench-hotpath rewrites it in place.
 clean:
 	rm -f BENCH_sweep.json

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -32,6 +34,8 @@ func main() {
 	list := flag.Bool("list", false, "list organizations and workloads, then exit")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	compare := flag.Bool("compare", false, "run every native organization on the workloads and rank by cycles")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -53,9 +57,24 @@ func main() {
 		return
 	}
 
+	stopCPU := startCPUProfile(*cpuprofile)
+
 	if *compare {
 		runComparison(*wls, *insns, *cores, *llc, *dtlb, *ic, *seed)
+		stopCPU()
+		writeMemProfile(*memprofile)
 		return
+	}
+
+	if !knownOrg(*org) {
+		var names []string
+		for _, o := range hybridvc.Organizations() {
+			names = append(names, string(o))
+		}
+		fmt.Fprintf(os.Stderr, "hvcsim: unknown organization %q (want one of: %s)\n",
+			*org, strings.Join(names, ", "))
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	sys, err := hybridvc.New(hybridvc.Config{
@@ -77,6 +96,8 @@ func main() {
 		}
 	}
 	report, err := sys.Run(*insns)
+	stopCPU()
+	writeMemProfile(*memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hvcsim:", err)
 		os.Exit(1)
@@ -96,6 +117,56 @@ func main() {
 	fmt.Println()
 	fmt.Println("\ntranslation energy breakdown:")
 	fmt.Print(sys.Mem.Energy().Breakdown())
+}
+
+// knownOrg reports whether name is a selectable organization.
+func knownOrg(name string) bool {
+	for _, o := range hybridvc.Organizations() {
+		if string(o) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// startCPUProfile begins CPU profiling when path is non-empty; the
+// returned function stops profiling and closes the file.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcsim:", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "hvcsim:", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a heap profile (after a GC, so the profile shows
+// live allocations) when path is non-empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcsim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "hvcsim:", err)
+		os.Exit(1)
+	}
 }
 
 // runComparison runs the workloads on every native organization and prints

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridvc"
+	"hybridvc/internal/core"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/stats"
+)
+
+// parityWorkloads are the fixed workload prefixes the parity fingerprint
+// runs: one miss-heavy single-process stream and one multi-process mix
+// with shared (synonym) memory, so both the delayed-translation path and
+// the synonym path contribute to every organization's row.
+var parityWorkloads = []string{"gups", "postgres"}
+
+// Parity runs every selectable organization on the fixed workload
+// prefixes and renders a per-cell stat fingerprint: report fields plus
+// the hierarchy and fault counters. The table is intentionally exhaustive
+// and byte-stable — the golden test in parity_test.go diffs it against a
+// checked-in rendering to prove that refactors of the access path leave
+// every organization's simulated behavior bit-identical.
+func Parity(s Scale) (*stats.Table, error) {
+	insns := s.pick(30_000, 200_000)
+	simCfg := sim.DefaultConfig()
+	// A timeslice shorter than the window makes the multi-process cells
+	// exercise context switching (and the filter-reload accounting).
+	simCfg.Timeslice = 10_000
+
+	var cells []Cell
+	for _, org := range hybridvc.Organizations() {
+		for _, wl := range parityWorkloads {
+			cells = append(cells, Cell{
+				Label:        fmt.Sprintf("parity/%s/%s", wl, org),
+				Config:       hybridvc.Config{Org: org, Cores: 1, Sim: simCfg},
+				Workloads:    []string{wl},
+				Instructions: insns,
+				Extract:      parityRow(string(org), wl),
+			})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Parity: per-organization stat fingerprint",
+		"org", "workload", "cycles", "insns", "ipc", "xlat_pj", "dyn_pj",
+		"llc_hits", "llc_misses", "mem_wbs", "back_invals", "faults", "walk_steps")
+	for _, r := range results {
+		t.AddRow(r.Value.([]string)...)
+	}
+	return t, nil
+}
+
+// parityRow extracts one cell's fingerprint while the system is alive.
+func parityRow(org, wl string) func(*hybridvc.System, sim.Report) (any, error) {
+	return func(sys *hybridvc.System, rep sim.Report) (any, error) {
+		h := sys.Mem.Hierarchy()
+		bh, ok := sys.Mem.(core.BaseHolder)
+		if !ok {
+			return nil, fmt.Errorf("organization %s does not expose its Base", org)
+		}
+		b := bh.BaseState()
+		return []string{
+			org, wl,
+			fmt.Sprintf("%d", rep.Cycles),
+			fmt.Sprintf("%d", rep.Instructions),
+			fmt.Sprintf("%.6f", rep.IPC),
+			fmt.Sprintf("%.3f", rep.TranslationEnergyPJ),
+			fmt.Sprintf("%.3f", rep.DynamicEnergyPJ),
+			fmt.Sprintf("%d", h.LLC().Stats.Hits.Value()),
+			fmt.Sprintf("%d", h.LLC().Stats.Misses.Value()),
+			fmt.Sprintf("%d", h.MemWritebacks.Value()),
+			fmt.Sprintf("%d", h.BackInvals.Value()),
+			fmt.Sprintf("%d", b.Faults.Value()),
+			fmt.Sprintf("%d", b.WalkSteps.Value()),
+		}, nil
+	}
+}

@@ -119,4 +119,5 @@ func init() {
 		}
 		return tables, nil
 	}})
+	Register(Experiment{"parity", "Cross-organization stat fingerprint (golden refactor-parity check)", one(Parity)})
 }

@@ -1,0 +1,102 @@
+// Tests pinning the unified Result.HitLevel scale: every organization
+// reports 1 for an L1 hit, 2 for the private level behind the L1 (the L2,
+// or OVC's physical L2 path), 3 for the shared LLC and 0 for memory.
+package hybridvc_test
+
+import (
+	"testing"
+
+	"hybridvc"
+	"hybridvc/internal/addr"
+	"hybridvc/internal/cache"
+	"hybridvc/internal/core"
+)
+
+// TestHitLevelScaleAcrossOrganizations drives the same cold line twice on
+// every organization: the first reference must come from memory (level 0,
+// LLC miss), the second from the L1 (level 1, no LLC miss).
+func TestHitLevelScaleAcrossOrganizations(t *testing.T) {
+	for _, org := range hybridvc.Organizations() {
+		org := org
+		t.Run(string(org), func(t *testing.T) {
+			sys := newHotpathSystem(t, org, "stream")
+			g := sys.Generators()[0]
+			req := core.Request{Core: 0, Kind: cache.Read, VA: g.CodeStart, Proc: g.Proc}
+
+			first := sys.Mem.Access(req)
+			if first.HitLevel != 0 || !first.LLCMiss {
+				t.Errorf("cold access: HitLevel=%d LLCMiss=%v, want level 0 from memory",
+					first.HitLevel, first.LLCMiss)
+			}
+			second := sys.Mem.Access(req)
+			if second.HitLevel != 1 || second.LLCMiss {
+				t.Errorf("warm access: HitLevel=%d LLCMiss=%v, want an L1 hit",
+					second.HitLevel, second.LLCMiss)
+			}
+		})
+	}
+}
+
+// TestHitLevelDeepLevels peels the hierarchy level by level on the hybrid
+// organization (a uniformly virtual hierarchy): invalidating the line from
+// the levels above the one under test must surface levels 2, 3 and 0.
+func TestHitLevelDeepLevels(t *testing.T) {
+	sys := newHotpathSystem(t, hybridvc.HybridManySegSC, "stream")
+	g := sys.Generators()[0]
+	req := core.Request{Core: 0, Kind: cache.Read, VA: g.CodeStart, Proc: g.Proc}
+	name := addr.VirtName(g.Proc.ASID, g.CodeStart)
+	hier := sys.Mem.Hierarchy()
+
+	sys.Mem.Access(req) // fill all levels
+
+	hier.L1D(0).Invalidate(name)
+	if r := sys.Mem.Access(req); r.HitLevel != 2 || r.LLCMiss {
+		t.Errorf("L2 hit: HitLevel=%d LLCMiss=%v, want level 2", r.HitLevel, r.LLCMiss)
+	}
+	hier.L1D(0).Invalidate(name)
+	hier.L2(0).Invalidate(name)
+	if r := sys.Mem.Access(req); r.HitLevel != 3 || r.LLCMiss {
+		t.Errorf("LLC hit: HitLevel=%d LLCMiss=%v, want level 3", r.HitLevel, r.LLCMiss)
+	}
+	hier.L1D(0).Invalidate(name)
+	hier.L2(0).Invalidate(name)
+	hier.LLC().Invalidate(name)
+	if r := sys.Mem.Access(req); r.HitLevel != 0 || !r.LLCMiss {
+		t.Errorf("memory: HitLevel=%d LLCMiss=%v, want level 0", r.HitLevel, r.LLCMiss)
+	}
+}
+
+// TestHitLevelOVCOuterPath checks the split hierarchy maps onto the same
+// scale: an OVC virtual L1 miss that hits the physical L2 reports level 2,
+// the LLC level 3, and memory level 0 — indistinguishable from the uniform
+// organizations to a consumer of Result.
+func TestHitLevelOVCOuterPath(t *testing.T) {
+	sys := newHotpathSystem(t, hybridvc.OVC, "stream")
+	g := sys.Generators()[0]
+	req := core.Request{Core: 0, Kind: cache.Read, VA: g.CodeStart, Proc: g.Proc}
+	vname := addr.VirtName(g.Proc.ASID, g.CodeStart)
+	pa, ok := g.Proc.PT.Translate(g.CodeStart)
+	if !ok {
+		t.Fatal("code page not mapped")
+	}
+	pname := addr.PhysName(pa)
+	hier := sys.Mem.Hierarchy()
+
+	sys.Mem.Access(req) // fill the virtual L1 and the physical outer levels
+
+	hier.L1D(0).Invalidate(vname)
+	if r := sys.Mem.Access(req); r.HitLevel != 2 || r.LLCMiss {
+		t.Errorf("physical L2 hit: HitLevel=%d LLCMiss=%v, want level 2", r.HitLevel, r.LLCMiss)
+	}
+	hier.L1D(0).Invalidate(vname)
+	hier.L2(0).Invalidate(pname)
+	if r := sys.Mem.Access(req); r.HitLevel != 3 || r.LLCMiss {
+		t.Errorf("LLC hit: HitLevel=%d LLCMiss=%v, want level 3", r.HitLevel, r.LLCMiss)
+	}
+	hier.L1D(0).Invalidate(vname)
+	hier.L2(0).Invalidate(pname)
+	hier.LLC().Invalidate(pname)
+	if r := sys.Mem.Access(req); r.HitLevel != 0 || !r.LLCMiss {
+		t.Errorf("memory: HitLevel=%d LLCMiss=%v, want level 0", r.HitLevel, r.LLCMiss)
+	}
+}

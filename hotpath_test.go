@@ -1,0 +1,140 @@
+// Tests of the batched access hot path: AccessBatch must be
+// result-identical to scalar Access calls on every organization, and
+// allocation-free once the structures it touches are warm.
+package hybridvc_test
+
+import (
+	"testing"
+
+	"hybridvc"
+	"hybridvc/internal/addr"
+	"hybridvc/internal/cache"
+	"hybridvc/internal/core"
+)
+
+// newHotpathSystem builds a system with one loaded workload. A small LLC
+// keeps the miss paths (delayed translation, writeback translation) busy.
+func newHotpathSystem(t testing.TB, org hybridvc.Organization, wl string) *hybridvc.System {
+	t.Helper()
+	sys, err := hybridvc.New(hybridvc.Config{Org: org, LLCBytes: 256 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadWorkload(wl); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// collectRequests draws n data references from the system's first
+// generator. Two systems built with the same seed yield the same VA/kind
+// sequence, so equivalence tests can drive twins with matching streams.
+func collectRequests(sys *hybridvc.System, n int) []core.Request {
+	g := sys.Generators()[0]
+	reqs := make([]core.Request, 0, n)
+	for len(reqs) < n {
+		in := g.Next()
+		if !in.IsMem || in.Mispredict {
+			continue
+		}
+		kind := cache.Read
+		if in.IsStore {
+			kind = cache.Write
+		}
+		reqs = append(reqs, core.Request{Core: 0, Kind: kind, VA: in.VA, Proc: g.Proc})
+	}
+	return reqs
+}
+
+// TestAccessBatchMatchesScalar drives two identically seeded systems of
+// every organization with the same reference stream — one through scalar
+// Access calls, one through chunked AccessBatch — and requires identical
+// per-reference results (latency, hit level, LLC miss, fault).
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	const n, chunk = 4000, 128
+	for _, org := range hybridvc.Organizations() {
+		org := org
+		t.Run(string(org), func(t *testing.T) {
+			scalarSys := newHotpathSystem(t, org, "gups")
+			batchSys := newHotpathSystem(t, org, "gups")
+			sreqs := collectRequests(scalarSys, n)
+			breqs := collectRequests(batchSys, n)
+			for i := range sreqs {
+				if sreqs[i].VA != breqs[i].VA || sreqs[i].Kind != breqs[i].Kind {
+					t.Fatalf("request streams diverge at %d: %+v vs %+v", i, sreqs[i], breqs[i])
+				}
+			}
+
+			want := make([]core.Result, n)
+			for i := range sreqs {
+				want[i] = scalarSys.Mem.Access(sreqs[i])
+			}
+			got := make([]core.Result, n)
+			for lo := 0; lo < n; lo += chunk {
+				hi := min(lo+chunk, n)
+				batchSys.Mem.AccessBatch(breqs[lo:hi], got[lo:hi])
+			}
+
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("result %d (VA %#x, kind %v): scalar %+v, batch %+v",
+						i, sreqs[i].VA, sreqs[i].Kind, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAccessBatchShortResultPanics pins the documented contract.
+func TestAccessBatchShortResultPanics(t *testing.T) {
+	sys := newHotpathSystem(t, hybridvc.HybridManySegSC, "stream")
+	reqs := collectRequests(sys, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("AccessBatch with short result slice did not panic")
+		}
+	}()
+	sys.Mem.AccessBatch(reqs, make([]core.Result, 1))
+}
+
+// TestAccessBatchSteadyStateAllocs requires the batched hot path to run
+// allocation-free in the steady state: after a warm-up pass has grown the
+// engine's scratch buffers and filled the caches, repeated AccessBatch
+// calls over a fixed request set must not allocate at all.
+func TestAccessBatchSteadyStateAllocs(t *testing.T) {
+	sys := newHotpathSystem(t, hybridvc.HybridManySegSC, "gups")
+	g := sys.Generators()[0]
+
+	// A fixed read set over the code region: 256 lines fit the L1, so the
+	// steady state exercises the filter probe + virtual L1 hit path, the
+	// common case the batching exists for.
+	const lines = 256
+	reqs := make([]core.Request, lines)
+	for i := range reqs {
+		va := g.CodeStart + addr.VA(uint64(i)*64)
+		reqs[i] = core.Request{Core: 0, Kind: cache.Read, VA: va, Proc: g.Proc}
+	}
+	res := make([]core.Result, lines)
+
+	// Warm: demand-fault the pages, fill the caches, grow scratch buffers.
+	// A stretch of the real workload first also grows the miss-path
+	// scratch (writeback snapshot, translator walk path).
+	stream := collectRequests(sys, 4096)
+	streamRes := make([]core.Result, len(stream))
+	sys.Mem.AccessBatch(stream, streamRes)
+	for i := 0; i < 3; i++ {
+		sys.Mem.AccessBatch(reqs, res)
+	}
+
+	avg := testing.AllocsPerRun(50, func() {
+		sys.Mem.AccessBatch(reqs, res)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state AccessBatch allocates %.2f times per call, want 0", avg)
+	}
+	for i := range res {
+		if res[i].HitLevel != 1 {
+			t.Fatalf("steady-state access %d not an L1 hit: %+v", i, res[i])
+		}
+	}
+}

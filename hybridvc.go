@@ -161,58 +161,92 @@ func New(cfg Config) (*System, error) {
 		s.Kernel = osmodel.NewKernel(osmodel.Config{PhysBytes: cfg.PhysBytes})
 	}
 
-	switch cfg.Org {
-	case Baseline:
-		bc := baseline.DefaultConfig(cfg.Cores)
-		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		s.Mem = baseline.NewConventional(bc, s.Kernel)
-	case Ideal:
-		bc := baseline.DefaultConfig(cfg.Cores)
-		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		s.Mem = baseline.NewIdeal(bc, s.Kernel)
-	case RMM:
-		bc := baseline.DefaultConfig(cfg.Cores)
-		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		s.Mem = baseline.NewRMM(bc, s.Kernel)
-	case DirectSegment:
-		bc := baseline.DefaultConfig(cfg.Cores)
-		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		s.Mem = baseline.NewDirectSegment(bc, s.Kernel)
-	case OVC:
+	build, ok := orgTable[cfg.Org]
+	if !ok {
+		return nil, fmt.Errorf("hybridvc: unknown organization %q", cfg.Org)
+	}
+	ms, err := build(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	s.Mem = ms
+	return s, nil
+}
+
+// orgTable declaratively maps each organization to its memory system
+// builder. Every organization is stage wiring over the shared pipeline
+// engine (see internal/pipeline), so adding a design point is one table
+// entry plus its FrontEnd/Backend hooks.
+var orgTable = map[Organization]func(Config, *System) (core.MemSystem, error){
+	Baseline: func(cfg Config, s *System) (core.MemSystem, error) {
+		return baseline.NewConventional(baselineConfig(cfg), s.Kernel), nil
+	},
+	Ideal: func(cfg Config, s *System) (core.MemSystem, error) {
+		return baseline.NewIdeal(baselineConfig(cfg), s.Kernel), nil
+	},
+	RMM: func(cfg Config, s *System) (core.MemSystem, error) {
+		return baseline.NewRMM(baselineConfig(cfg), s.Kernel), nil
+	},
+	DirectSegment: func(cfg Config, s *System) (core.MemSystem, error) {
+		return baseline.NewDirectSegment(baselineConfig(cfg), s.Kernel), nil
+	},
+	OVC: func(cfg Config, s *System) (core.MemSystem, error) {
 		if cfg.Cores != 1 {
 			return nil, fmt.Errorf("hybridvc: the OVC model is single-core")
 		}
-		bc := baseline.DefaultConfig(1)
-		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		s.Mem = baseline.NewOVC(bc, s.Kernel)
-	case HybridDelayedTLB, Enigma:
-		hc := core.DefaultHybridConfig(cfg.Cores)
-		applyLLC(&hc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		hc.Delayed = core.DelayedPageTLB
-		hc.DelayedTLBEntries = cfg.DelayedTLBEntries
-		hc.WithSegmentCache = false
-		hc.FilterBypass = cfg.Org == Enigma
-		s.Mem = core.NewHybridMMU(hc, s.Kernel)
-	case HybridManySeg, HybridManySegSC:
-		hc := core.DefaultHybridConfig(cfg.Cores)
-		applyLLC(&hc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		hc.Delayed = core.DelayedSegments
-		hc.WithSegmentCache = cfg.Org == HybridManySegSC
-		hc.IndexCacheBytes = cfg.IndexCacheBytes
-		s.Mem = core.NewHybridMMU(hc, s.Kernel)
-	case Virt2D:
-		bc := baseline.DefaultConfig(cfg.Cores)
-		applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
-		s.Mem = baseline.NewVirt2D(bc, s.VM)
-	case VirtHybrid:
+		return baseline.NewOVC(baselineConfig(cfg), s.Kernel), nil
+	},
+	HybridDelayedTLB: func(cfg Config, s *System) (core.MemSystem, error) {
+		return core.NewHybridMMU(hybridTLBConfig(cfg, false), s.Kernel), nil
+	},
+	Enigma: func(cfg Config, s *System) (core.MemSystem, error) {
+		return core.NewHybridMMU(hybridTLBConfig(cfg, true), s.Kernel), nil
+	},
+	HybridManySeg: func(cfg Config, s *System) (core.MemSystem, error) {
+		return core.NewHybridMMU(hybridSegConfig(cfg, false), s.Kernel), nil
+	},
+	HybridManySegSC: func(cfg Config, s *System) (core.MemSystem, error) {
+		return core.NewHybridMMU(hybridSegConfig(cfg, true), s.Kernel), nil
+	},
+	Virt2D: func(cfg Config, s *System) (core.MemSystem, error) {
+		return baseline.NewVirt2D(baselineConfig(cfg), s.VM), nil
+	},
+	VirtHybrid: func(cfg Config, s *System) (core.MemSystem, error) {
 		vc := core.DefaultVirtHybridConfig(cfg.Cores)
 		applyLLC(&vc.Hier.LLC.SizeBytes, cfg.LLCBytes)
 		vc.IndexCacheBytes = cfg.IndexCacheBytes
-		s.Mem = core.NewVirtHybridMMU(vc, s.VM, s.Hypervisor)
-	default:
-		return nil, fmt.Errorf("hybridvc: unknown organization %q", cfg.Org)
-	}
-	return s, nil
+		return core.NewVirtHybridMMU(vc, s.VM, s.Hypervisor), nil
+	},
+}
+
+// baselineConfig is the Table IV substrate with the LLC override applied.
+func baselineConfig(cfg Config) baseline.Config {
+	bc := baseline.DefaultConfig(cfg.Cores)
+	applyLLC(&bc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+	return bc
+}
+
+// hybridTLBConfig configures the hybrid MMU with page-granularity delayed
+// translation; bypass drops the synonym filter (the Enigma design point).
+func hybridTLBConfig(cfg Config, bypass bool) core.HybridConfig {
+	hc := core.DefaultHybridConfig(cfg.Cores)
+	applyLLC(&hc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+	hc.Delayed = core.DelayedPageTLB
+	hc.DelayedTLBEntries = cfg.DelayedTLBEntries
+	hc.WithSegmentCache = false
+	hc.FilterBypass = bypass
+	return hc
+}
+
+// hybridSegConfig configures the hybrid MMU with many-segment delayed
+// translation, with or without the segment cache.
+func hybridSegConfig(cfg Config, sc bool) core.HybridConfig {
+	hc := core.DefaultHybridConfig(cfg.Cores)
+	applyLLC(&hc.Hier.LLC.SizeBytes, cfg.LLCBytes)
+	hc.Delayed = core.DelayedSegments
+	hc.WithSegmentCache = sc
+	hc.IndexCacheBytes = cfg.IndexCacheBytes
+	return hc
 }
 
 func applyLLC(dst *int, override int) {

@@ -169,13 +169,15 @@ func (p Perm) String() string {
 // It corresponds to the extended cache tag of Figure 2 (synonym bit, 16-bit
 // ASID, shared PA/VA tag field).
 type Name struct {
+	// Addr holds a line-aligned PA (Synonym) or VA (non-synonym). It is
+	// the first field so the compiler-generated equality used by cache
+	// set scans rejects on the discriminating word first.
+	Addr uint64
+	// ASID qualifies virtual names to avoid homonyms.
+	ASID ASID
 	// Synonym is the tag's synonym bit: true means Addr holds a physical
 	// address and ASID is ignored.
 	Synonym bool
-	// ASID qualifies virtual names to avoid homonyms.
-	ASID ASID
-	// Addr holds a line-aligned PA (Synonym) or VA (non-synonym).
-	Addr uint64
 }
 
 // PhysName builds the name of a physically addressed (synonym) block.
@@ -186,6 +188,18 @@ func PhysName(pa PA) Name {
 // VirtName builds the name of a virtually addressed (non-synonym) block.
 func VirtName(asid ASID, va VA) Name {
 	return Name{ASID: asid, Addr: uint64(va.LineAligned())}
+}
+
+// Key packs the whole name into one comparable word: Addr is line-aligned
+// (low 6 bits clear) and canonical (< 2^48), leaving bit 0 for the synonym
+// bit and the top 16 bits for the ASID. Two names are equal iff their keys
+// are equal, so tag scans can compare a single word.
+func (n Name) Key() uint64 {
+	k := n.Addr | uint64(n.ASID)<<VABits
+	if n.Synonym {
+		k |= 1
+	}
+	return k
 }
 
 // Line returns the line number used for cache set indexing.

@@ -15,6 +15,7 @@ import (
 	"hybridvc/internal/energy"
 	"hybridvc/internal/mem"
 	"hybridvc/internal/osmodel"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/segment"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/tlb"
@@ -37,9 +38,11 @@ func DefaultConfig(n int) Config {
 }
 
 // Conventional is the physically addressed baseline: a per-core two-level
-// TLB in front of the L1, hardware page walks on misses.
+// TLB in front of the L1, hardware page walks on misses. It is a pure
+// FrontEnd organization: every access routes physically, with no cache
+// stage override and no backend.
 type Conventional struct {
-	*core.Base
+	*pipeline.Engine
 	tlbs []*tlb.TwoLevel
 	// hugeTLBs hold 2 MiB translations (32 entries, probed in parallel
 	// with the 4 KiB L1 TLB, like a real split dTLB).
@@ -55,10 +58,8 @@ type Conventional struct {
 
 // NewConventional builds the baseline and registers as the kernel's sink.
 func NewConventional(cfg Config, k *osmodel.Kernel) *Conventional {
-	c := &Conventional{
-		Base:   core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
-		kernel: k,
-	}
+	c := &Conventional{kernel: k}
+	c.Engine = pipeline.NewEngine(core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), c, nil, nil)
 	for i := 0; i < cfg.Hier.NumCores; i++ {
 		c.tlbs = append(c.tlbs, tlb.NewTwoLevel(tlb.DefaultTwoLevelConfig()))
 		c.hugeTLBs = append(c.hugeTLBs, tlb.New(tlb.Config{
@@ -72,18 +73,12 @@ func NewConventional(cfg Config, k *osmodel.Kernel) *Conventional {
 // Name implements core.MemSystem.
 func (c *Conventional) Name() string { return "baseline" }
 
-// Energy implements core.MemSystem.
-func (c *Conventional) Energy() *energy.Accumulator { return c.Acc }
-
-// Hierarchy implements core.MemSystem.
-func (c *Conventional) Hierarchy() *cache.Hierarchy { return c.Hier }
-
 // TLB exposes core i's two-level TLB.
 func (c *Conventional) TLB(core int) *tlb.TwoLevel { return c.tlbs[core] }
 
 // translate resolves VA->PA through the TLB hierarchy, charging latency
 // beyond the L1-overlapped lookup and walk costs.
-func (c *Conventional) translate(req core.Request) (addr.PA, addr.Perm, uint64, bool) {
+func (c *Conventional) translate(req *core.Request) (addr.PA, addr.Perm, uint64, bool) {
 	tl := c.tlbs[req.Core]
 	c.Acc.Access(energy.L1TLB, 1)
 	// The 2 MiB TLB is probed in parallel with the 4 KiB L1 TLB.
@@ -126,9 +121,8 @@ func (c *Conventional) translate(req core.Request) (addr.PA, addr.Perm, uint64, 
 		tres.Entry.Perm, lat, true
 }
 
-// Access implements core.MemSystem.
-func (c *Conventional) Access(req core.Request) core.Result {
-	var res core.Result
+// Route implements pipeline.FrontEnd.
+func (c *Conventional) Route(req *core.Request, res *core.Result) pipeline.Decision {
 	pa, perm, lat, ok := c.translate(req)
 	res.Latency += lat
 	if !ok {
@@ -136,12 +130,12 @@ func (c *Conventional) Access(req core.Request) core.Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		pa, perm, lat, ok = c.translate(req)
 		res.Latency += lat
 		if !ok {
-			return res
+			return pipeline.DoneNow()
 		}
 	}
 	if req.Kind == cache.Write && !perm.AllowsWrite() {
@@ -149,15 +143,11 @@ func (c *Conventional) Access(req core.Request) core.Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		pa, perm, _, _ = c.translate(req)
 	}
-	alat, hres := c.PhysAccess(req.Core, req.Kind, pa, perm)
-	res.Latency += alat
-	res.LLCMiss = hres.LLCMiss
-	res.HitLevel = hres.HitLevel
-	return res
+	return pipeline.GoPhysical(pa, perm)
 }
 
 // --- osmodel.ShootdownSink ---
@@ -201,13 +191,14 @@ func (c *Conventional) FlushASID(asid addr.ASID) {
 // Ideal models perfect translation: zero latency, zero energy — the
 // paper's "ideal TLB" upper bound.
 type Ideal struct {
-	*core.Base
+	*pipeline.Engine
 	kernel *osmodel.Kernel
 }
 
 // NewIdeal builds the ideal memory system.
 func NewIdeal(cfg Config, k *osmodel.Kernel) *Ideal {
-	i := &Ideal{Base: core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), kernel: k}
+	i := &Ideal{kernel: k}
+	i.Engine = pipeline.NewEngine(core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), i, nil, nil)
 	k.AttachSink(i)
 	return i
 }
@@ -215,30 +206,19 @@ func NewIdeal(cfg Config, k *osmodel.Kernel) *Ideal {
 // Name implements core.MemSystem.
 func (i *Ideal) Name() string { return "ideal" }
 
-// Energy implements core.MemSystem.
-func (i *Ideal) Energy() *energy.Accumulator { return i.Acc }
-
-// Hierarchy implements core.MemSystem.
-func (i *Ideal) Hierarchy() *cache.Hierarchy { return i.Hier }
-
-// Access implements core.MemSystem.
-func (i *Ideal) Access(req core.Request) core.Result {
-	var res core.Result
+// Route implements pipeline.FrontEnd.
+func (i *Ideal) Route(req *core.Request, res *core.Result) pipeline.Decision {
 	pa, ok := req.Proc.PT.Translate(req.VA)
 	if !ok {
 		fl, fixed := i.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		pa, _ = req.Proc.PT.Translate(req.VA)
 	}
-	lat, hres := i.PhysAccess(req.Core, req.Kind, pa, addr.PermRW)
-	res.Latency += lat
-	res.LLCMiss = hres.LLCMiss
-	res.HitLevel = hres.HitLevel
-	return res
+	return pipeline.GoPhysical(pa, addr.PermRW)
 }
 
 // TLBShootdown implements osmodel.ShootdownSink.
@@ -330,7 +310,7 @@ func (r *RangeTLB) Misses() uint64 { return r.Stats.Misses.Value() }
 // RMM is the redundant-memory-mapping baseline: an L1 page TLB, a 32-entry
 // range TLB at the L2 level, and redundant paging as the fallback.
 type RMM struct {
-	*core.Base
+	*pipeline.Engine
 	kernel *osmodel.Kernel
 	l1tlbs []*tlb.TLB
 	ranges []*RangeTLB
@@ -344,10 +324,8 @@ const RMMRangeEntries = 32
 
 // NewRMM builds the RMM baseline.
 func NewRMM(cfg Config, k *osmodel.Kernel) *RMM {
-	r := &RMM{
-		Base:   core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
-		kernel: k,
-	}
+	r := &RMM{kernel: k}
+	r.Engine = pipeline.NewEngine(core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), r, nil, nil)
 	for i := 0; i < cfg.Hier.NumCores; i++ {
 		r.l1tlbs = append(r.l1tlbs, tlb.New(tlb.Config{
 			Name: fmt.Sprintf("rmm-l1tlb[%d]", i), Entries: 64, Ways: 4, Latency: 1,
@@ -361,18 +339,11 @@ func NewRMM(cfg Config, k *osmodel.Kernel) *RMM {
 // Name implements core.MemSystem.
 func (r *RMM) Name() string { return "rmm" }
 
-// Energy implements core.MemSystem.
-func (r *RMM) Energy() *energy.Accumulator { return r.Acc }
-
-// Hierarchy implements core.MemSystem.
-func (r *RMM) Hierarchy() *cache.Hierarchy { return r.Hier }
-
 // Range exposes core i's range TLB.
 func (r *RMM) Range(core int) *RangeTLB { return r.ranges[core] }
 
-// Access implements core.MemSystem.
-func (r *RMM) Access(req core.Request) core.Result {
-	var res core.Result
+// Route implements pipeline.FrontEnd.
+func (r *RMM) Route(req *core.Request, res *core.Result) pipeline.Decision {
 	var pa addr.PA
 	var perm addr.Perm
 
@@ -398,7 +369,7 @@ func (r *RMM) Access(req core.Request) core.Result {
 				res.Latency += fl
 				res.Fault = true
 				if !fixed {
-					return res
+					return pipeline.DoneNow()
 				}
 				leaf, wlat, _ = r.TimedWalk(req.Core, req.Proc, req.VA.PageAligned())
 				res.Latency += wlat
@@ -419,14 +390,10 @@ func (r *RMM) Access(req core.Request) core.Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 	}
-	lat, hres := r.PhysAccess(req.Core, req.Kind, pa, perm)
-	res.Latency += lat
-	res.LLCMiss = hres.LLCMiss
-	res.HitLevel = hres.HitLevel
-	return res
+	return pipeline.GoPhysical(pa, perm)
 }
 
 // TLBShootdown implements osmodel.ShootdownSink.
@@ -466,9 +433,12 @@ func (r *RMM) FlushASID(asid addr.ASID) {
 
 // DirectSegment gives each process one base/limit/offset register triple
 // covering its largest contiguous region; addresses inside it translate
-// for free, everything else takes the conventional TLB path.
+// for free, everything else takes the conventional TLB path. It runs its
+// own engine (with itself as FrontEnd) over the Conventional baseline's
+// substrate, falling back to the conventional Route outside the segment.
 type DirectSegment struct {
 	*Conventional
+	*pipeline.Engine
 	segs map[addr.ASID]*segment.Segment
 
 	// InSegment counts accesses translated by the direct segment.
@@ -477,10 +447,12 @@ type DirectSegment struct {
 
 // NewDirectSegment builds the direct segment baseline.
 func NewDirectSegment(cfg Config, k *osmodel.Kernel) *DirectSegment {
-	return &DirectSegment{
+	d := &DirectSegment{
 		Conventional: NewConventional(cfg, k),
 		segs:         make(map[addr.ASID]*segment.Segment),
 	}
+	d.Engine = pipeline.NewEngine(d.Conventional.BaseState(), d, nil, nil)
+	return d
 }
 
 // Name implements core.MemSystem.
@@ -500,16 +472,12 @@ func (d *DirectSegment) AssignSegment(p *osmodel.Process) {
 	}
 }
 
-// Access implements core.MemSystem.
-func (d *DirectSegment) Access(req core.Request) core.Result {
+// Route implements pipeline.FrontEnd: inside the direct segment the
+// translation is free; outside, the conventional TLB front end runs.
+func (d *DirectSegment) Route(req *core.Request, res *core.Result) pipeline.Decision {
 	if s, ok := d.segs[req.Proc.ASID]; ok && s.Contains(req.Proc.ASID, req.VA) {
 		d.InSegment.Inc()
-		var res core.Result
-		lat, hres := d.PhysAccess(req.Core, req.Kind, s.Translate(req.VA), s.Perm)
-		res.Latency += lat
-		res.LLCMiss = hres.LLCMiss
-		res.HitLevel = hres.HitLevel
-		return res
+		return pipeline.GoPhysical(s.Translate(req.VA), s.Perm)
 	}
-	return d.Conventional.Access(req)
+	return d.Conventional.Route(req, res)
 }

@@ -6,6 +6,7 @@ import (
 	"hybridvc/internal/core"
 	"hybridvc/internal/energy"
 	"hybridvc/internal/osmodel"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/tlb"
 )
@@ -21,8 +22,12 @@ import (
 // The model is single-core: OVC's original coherence scheme (reverse
 // physical tags in the L1) is represented functionally by the single-name
 // discipline, not by a multi-core protocol.
+//
+// OVC is the one organization with a custom pipeline CacheStage: its
+// hierarchy is split (virtual L1, physical L2/LLC), so neither the
+// uniform virtual hierarchy walk nor the uniform physical one applies.
 type OVC struct {
-	*core.Base
+	*pipeline.Engine
 	kernel *osmodel.Kernel
 	tlb    *tlb.TwoLevel
 
@@ -38,22 +43,16 @@ func NewOVC(cfg Config, k *osmodel.Kernel) *OVC {
 		panic("baseline: OVC model is single-core")
 	}
 	o := &OVC{
-		Base:   core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
 		kernel: k,
 		tlb:    tlb.NewTwoLevel(tlb.DefaultTwoLevelConfig()),
 	}
+	o.Engine = pipeline.NewEngine(core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), o, o, nil)
 	k.AttachSink(o)
 	return o
 }
 
 // Name implements core.MemSystem.
 func (o *OVC) Name() string { return "ovc" }
-
-// Energy implements core.MemSystem.
-func (o *OVC) Energy() *energy.Accumulator { return o.Acc }
-
-// Hierarchy implements core.MemSystem.
-func (o *OVC) Hierarchy() *cache.Hierarchy { return o.Hier }
 
 // l1For returns the L1 array used by the access kind.
 func (o *OVC) l1For(kind cache.AccessKind) *cache.Cache {
@@ -64,7 +63,7 @@ func (o *OVC) l1For(kind cache.AccessKind) *cache.Cache {
 }
 
 // translate runs the two-level TLB + walk, charging energy and latency.
-func (o *OVC) translate(req core.Request) (addr.PA, addr.Perm, uint64, bool) {
+func (o *OVC) translate(req *core.Request) (addr.PA, addr.Perm, uint64, bool) {
 	o.Acc.Access(energy.L1TLB, 1)
 	tres := o.tlb.Lookup(req.Proc.ASID, req.VA.Page())
 	var lat uint64
@@ -98,7 +97,8 @@ func (o *OVC) timedWalk(proc *osmodel.Process, va addr.VA) (core.WalkLeaf, uint6
 	var lat uint64
 	for _, slot := range path {
 		o.WalkSteps.Inc()
-		lat += o.physL2Access(cache.Read, slot, addr.PermRO)
+		slat, _, _ := o.physL2Access(cache.Read, slot, addr.PermRO)
+		lat += slat
 	}
 	if !found {
 		return core.WalkLeaf{}, lat, false
@@ -107,8 +107,10 @@ func (o *OVC) timedWalk(proc *osmodel.Process, va addr.VA) (core.WalkLeaf, uint6
 }
 
 // physL2Access runs the L2 -> LLC -> DRAM physical path (no L1), filling
-// on the way back and preserving inclusion manually.
-func (o *OVC) physL2Access(kind cache.AccessKind, pa addr.PA, perm addr.Perm) uint64 {
+// on the way back and preserving inclusion manually. It reports the
+// latency, the level that supplied the data on Result.HitLevel's scale
+// (2 = L2, 3 = LLC, 0 = memory) and whether the LLC missed.
+func (o *OVC) physL2Access(kind cache.AccessKind, pa addr.PA, perm addr.Perm) (uint64, int, bool) {
 	n := addr.PhysName(pa)
 	l2 := o.Hier.L2(0)
 	lat := l2.Config().HitLatency
@@ -116,11 +118,13 @@ func (o *OVC) physL2Access(kind cache.AccessKind, pa addr.PA, perm addr.Perm) ui
 		if kind == cache.Write {
 			l.State = cache.Modified
 		}
-		return lat
+		return lat, 2, false
 	}
 	llc := o.Hier.LLC()
 	lat += llc.Config().HitLatency
+	level, llcMiss := 3, false
 	if l := llc.Access(n); l == nil {
+		level, llcMiss = 0, true
 		lat += o.DRAM.Access(pa)
 		if v, evicted := llc.Fill(n, cache.Exclusive, perm); evicted {
 			o.backInvalidate(v.Name)
@@ -135,7 +139,7 @@ func (o *OVC) physL2Access(kind cache.AccessKind, pa addr.PA, perm addr.Perm) ui
 			l.State = cache.Modified
 		}
 	}
-	return lat
+	return lat, level, llcMiss
 }
 
 // backInvalidate preserves LLC inclusion over the private levels.
@@ -150,67 +154,13 @@ func (o *OVC) backInvalidate(n addr.Name) {
 	// and translations stay valid).
 }
 
-// Access implements core.MemSystem.
-func (o *OVC) Access(req core.Request) core.Result {
-	var res core.Result
-	l1 := o.l1For(req.Kind)
-
-	candidate := req.Proc.Filter.IsCandidate(req.VA)
-	if !candidate {
-		// Virtual L1 path: a hit needs no translation at all.
-		vname := addr.VirtName(req.Proc.ASID, req.VA)
-		res.Latency += l1.Config().HitLatency
-		if l := l1.Access(vname); l != nil {
-			if req.Kind == cache.Write {
-				if !l.Perm.AllowsWrite() {
-					fl, fixed := o.HandleFault(req.Proc, req.VA, true)
-					res.Latency += fl
-					res.Fault = true
-					if !fixed {
-						return res
-					}
-					return o.retry(req, res)
-				}
-				l.State = cache.Modified
-			}
-			o.L1VirtualHits.Inc()
-			res.HitLevel = 1
-			return res
-		}
-		// L1 miss: translate, then the physical outer hierarchy.
-		o.L1MissTranslations.Inc()
-		pa, perm, lat, ok := o.translate(req)
-		res.Latency += lat
-		if !ok {
-			fl, fixed := o.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
-			res.Latency += fl
-			res.Fault = true
-			if !fixed {
-				return res
-			}
-			return o.retry(req, res)
-		}
-		if req.Kind == cache.Write && !perm.AllowsWrite() {
-			fl, fixed := o.HandleFault(req.Proc, req.VA, true)
-			res.Latency += fl
-			res.Fault = true
-			if !fixed {
-				return res
-			}
-			return o.retry(req, res)
-		}
-		res.Latency += o.physL2Access(req.Kind, pa, perm)
-		st := cache.Exclusive
-		if req.Kind == cache.Write {
-			st = cache.Modified
-		}
-		if v, evicted := l1.Fill(vname, st, perm); evicted && v.Dirty && !v.Name.Synonym {
-			// A dirty virtual victim needs translation to write back.
-			o.Acc.Access(energy.L1TLB, 1)
-		}
-		return res
+// Route implements pipeline.FrontEnd: non-synonym accesses go to the
+// virtual L1 with no up-front translation at all; synonym candidates
+// translate first and run the physical L1.
+func (o *OVC) Route(req *core.Request, res *core.Result) pipeline.Decision {
+	if !req.Proc.Filter.IsCandidate(req.VA) {
+		return pipeline.GoVirtual(0)
 	}
-
 	// Synonym candidate: conventional path, physical L1.
 	pa, perm, lat, ok := o.translate(req)
 	res.Latency += lat
@@ -219,19 +169,28 @@ func (o *OVC) Access(req core.Request) core.Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
-		return o.retry(req, res)
+		o.Retry(req, res)
+		return pipeline.DoneNow()
 	}
 	if req.Kind == cache.Write && !perm.AllowsWrite() {
 		fl, fixed := o.HandleFault(req.Proc, req.VA, true)
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
-		return o.retry(req, res)
+		o.Retry(req, res)
+		return pipeline.DoneNow()
 	}
+	return pipeline.GoPhysical(pa, perm)
+}
+
+// Physical implements pipeline.CacheStage: physical L1, then the outer
+// physical path.
+func (o *OVC) Physical(req *core.Request, pa addr.PA, perm addr.Perm, res *core.Result) {
+	l1 := o.l1For(req.Kind)
 	pname := addr.PhysName(pa)
 	res.Latency += l1.Config().HitLatency
 	if l := l1.Access(pname); l != nil {
@@ -239,24 +198,81 @@ func (o *OVC) Access(req core.Request) core.Result {
 			l.State = cache.Modified
 		}
 		res.HitLevel = 1
-		return res
+		return
 	}
-	res.Latency += o.physL2Access(req.Kind, pa, perm)
+	lat, level, llcMiss := o.physL2Access(req.Kind, pa, perm)
+	res.Latency += lat
+	res.HitLevel = level
+	res.LLCMiss = llcMiss
 	st := cache.Exclusive
 	if req.Kind == cache.Write {
 		st = cache.Modified
 	}
 	l1.Fill(pname, st, perm)
-	return res
 }
 
-// retry re-executes the access once after a fault fixed the mapping.
-func (o *OVC) retry(req core.Request, res core.Result) core.Result {
-	r2 := o.Access(req)
-	res.Latency += r2.Latency
-	res.LLCMiss = r2.LLCMiss
-	res.HitLevel = r2.HitLevel
-	return res
+// Virtual implements pipeline.CacheStage: the virtual L1 path, where a
+// hit needs no translation at all and a miss translates before the
+// physical outer hierarchy.
+func (o *OVC) Virtual(req *core.Request, _ addr.Perm, res *core.Result) cache.AccessResult {
+	l1 := o.l1For(req.Kind)
+	vname := addr.VirtName(req.Proc.ASID, req.VA)
+	res.Latency += l1.Config().HitLatency
+	if l := l1.Access(vname); l != nil {
+		if req.Kind == cache.Write {
+			if !l.Perm.AllowsWrite() {
+				fl, fixed := o.HandleFault(req.Proc, req.VA, true)
+				res.Latency += fl
+				res.Fault = true
+				if !fixed {
+					return cache.AccessResult{}
+				}
+				o.Retry(req, res)
+				return cache.AccessResult{}
+			}
+			l.State = cache.Modified
+		}
+		o.L1VirtualHits.Inc()
+		res.HitLevel = 1
+		return cache.AccessResult{}
+	}
+	// L1 miss: translate, then the physical outer hierarchy.
+	o.L1MissTranslations.Inc()
+	pa, perm, lat, ok := o.translate(req)
+	res.Latency += lat
+	if !ok {
+		fl, fixed := o.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
+		res.Latency += fl
+		res.Fault = true
+		if !fixed {
+			return cache.AccessResult{}
+		}
+		o.Retry(req, res)
+		return cache.AccessResult{}
+	}
+	if req.Kind == cache.Write && !perm.AllowsWrite() {
+		fl, fixed := o.HandleFault(req.Proc, req.VA, true)
+		res.Latency += fl
+		res.Fault = true
+		if !fixed {
+			return cache.AccessResult{}
+		}
+		o.Retry(req, res)
+		return cache.AccessResult{}
+	}
+	alat, level, llcMiss := o.physL2Access(req.Kind, pa, perm)
+	res.Latency += alat
+	res.HitLevel = level
+	res.LLCMiss = llcMiss
+	st := cache.Exclusive
+	if req.Kind == cache.Write {
+		st = cache.Modified
+	}
+	if v, evicted := l1.Fill(vname, st, perm); evicted && v.Dirty && !v.Name.Synonym {
+		// A dirty virtual victim needs translation to write back.
+		o.Acc.Access(energy.L1TLB, 1)
+	}
+	return cache.AccessResult{}
 }
 
 // --- osmodel.ShootdownSink ---

@@ -6,6 +6,7 @@ import (
 	"hybridvc/internal/core"
 	"hybridvc/internal/energy"
 	"hybridvc/internal/osmodel"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/tlb"
 	"hybridvc/internal/virt"
@@ -19,7 +20,7 @@ import (
 // memory accesses through the cache hierarchy before the L1 access can
 // proceed.
 type Virt2D struct {
-	*core.Base
+	*pipeline.Engine
 	vm      *virt.VM
 	walkers map[uint32]*virt.Walker2D
 	tlbs    []*tlb.TwoLevel
@@ -32,10 +33,10 @@ type Virt2D struct {
 // further virtual machines.
 func NewVirt2D(cfg Config, vm *virt.VM) *Virt2D {
 	v := &Virt2D{
-		Base:    core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
 		vm:      vm,
 		walkers: make(map[uint32]*virt.Walker2D),
 	}
+	v.Engine = pipeline.NewEngine(core.NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), v, nil, nil)
 	for i := 0; i < cfg.Hier.NumCores; i++ {
 		v.tlbs = append(v.tlbs, tlb.NewTwoLevel(tlb.DefaultTwoLevelConfig()))
 	}
@@ -52,12 +53,6 @@ func (v *Virt2D) AddVM(vm *virt.VM) {
 // Name implements core.MemSystem.
 func (v *Virt2D) Name() string { return "virt-2d-baseline" }
 
-// Energy implements core.MemSystem.
-func (v *Virt2D) Energy() *energy.Accumulator { return v.Acc }
-
-// Hierarchy implements core.MemSystem.
-func (v *Virt2D) Hierarchy() *cache.Hierarchy { return v.Hier }
-
 // timed2DWalk issues a nested walk, charging its reads through the caches.
 func (v *Virt2D) timed2DWalk(coreID int, proc *osmodel.Process, gva addr.VA) (virt.Walk2DResult, uint64) {
 	v.Walks2D.Inc()
@@ -72,9 +67,8 @@ func (v *Virt2D) timed2DWalk(coreID int, proc *osmodel.Process, gva addr.VA) (vi
 	return res, lat
 }
 
-// Access implements core.MemSystem.
-func (v *Virt2D) Access(req core.Request) core.Result {
-	var res core.Result
+// Route implements pipeline.FrontEnd.
+func (v *Virt2D) Route(req *core.Request, res *core.Result) pipeline.Decision {
 	tl := v.tlbs[req.Core]
 	v.Acc.Access(energy.L1TLB, 1)
 	tres := tl.Lookup(req.Proc.ASID, req.VA.Page())
@@ -99,12 +93,12 @@ func (v *Virt2D) Access(req core.Request) core.Result {
 			res.Latency += fl
 			res.Fault = true
 			if !fixed {
-				return res
+				return pipeline.DoneNow()
 			}
 			wres, wlat = v.timed2DWalk(req.Core, req.Proc, req.VA.PageAligned())
 			res.Latency += wlat
 			if !wres.OK {
-				return res
+				return pipeline.DoneNow()
 			}
 		}
 		perm = wres.GuestPTE.Perm
@@ -120,14 +114,10 @@ func (v *Virt2D) Access(req core.Request) core.Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 	}
-	lat, hres := v.PhysAccess(req.Core, req.Kind, ma, perm)
-	res.Latency += lat
-	res.LLCMiss = hres.LLCMiss
-	res.HitLevel = hres.HitLevel
-	return res
+	return pipeline.GoPhysical(ma, perm)
 }
 
 // --- osmodel.ShootdownSink ---

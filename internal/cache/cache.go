@@ -56,11 +56,14 @@ type Config struct {
 
 // Line is one cache way's bookkeeping: the extended tag of Figure 2.
 type Line struct {
-	Valid bool
+	// key caches Name.Key() so the set scan in lookup compares one word
+	// instead of the three-field Name struct. Zero for invalid ways.
+	key   uint64
 	Name  addr.Name
+	lru   uint64
+	Valid bool
 	State State
 	Perm  addr.Perm
-	lru   uint64
 }
 
 // Dirty reports whether the line holds modified data.
@@ -111,9 +114,10 @@ func (c *Cache) set(n addr.Name) []Line {
 
 // lookup returns the way holding n, or nil.
 func (c *Cache) lookup(n addr.Name) *Line {
+	k := n.Key()
 	set := c.set(n)
 	for i := range set {
-		if set[i].Valid && set[i].Name == n {
+		if set[i].key == k && set[i].Valid {
 			return &set[i]
 		}
 	}
@@ -174,7 +178,7 @@ func (c *Cache) Fill(n addr.Name, st State, perm addr.Perm) (Victim, bool) {
 			c.WriteBks.Inc()
 		}
 	}
-	*victim = Line{Valid: true, Name: n, State: st, Perm: perm, lru: c.tick}
+	*victim = Line{key: n.Key(), Valid: true, Name: n, State: st, Perm: perm, lru: c.tick}
 	return out, evicted
 }
 

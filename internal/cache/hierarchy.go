@@ -76,6 +76,10 @@ type Hierarchy struct {
 	BackInvals stats.Counter
 	// MemWritebacks counts dirty lines written back to memory.
 	MemWritebacks stats.Counter
+
+	// wbScratch backs AccessScratch results so the batched hot path does
+	// not allocate a Writebacks slice per reference.
+	wbScratch []addr.Name
 }
 
 // NewHierarchy builds the hierarchy. It panics for a non-positive core
@@ -117,13 +121,29 @@ func (h *Hierarchy) LLC() *Cache { return h.llc }
 
 // Access performs one reference by core for the line named n with the given
 // permission to record on fills. It implements the full coherent access
-// path and returns the latency and miss outcome.
+// path and returns the latency and miss outcome. Writebacks, when any, are
+// freshly allocated.
 func (h *Hierarchy) Access(core int, kind AccessKind, n addr.Name, perm addr.Perm) AccessResult {
+	return h.access(core, kind, n, perm, nil)
+}
+
+// AccessScratch is Access with the Writebacks slice backed by a
+// hierarchy-owned buffer, so steady-state accesses allocate nothing. The
+// returned Writebacks alias that buffer: the caller must consume them
+// before the next AccessScratch (or PhysAccess in scratch mode) call.
+func (h *Hierarchy) AccessScratch(core int, kind AccessKind, n addr.Name, perm addr.Perm) AccessResult {
+	res := h.access(core, kind, n, perm, h.wbScratch[:0])
+	h.wbScratch = res.Writebacks
+	return res
+}
+
+// access is the shared body; wb seeds res.Writebacks (nil to allocate).
+func (h *Hierarchy) access(core int, kind AccessKind, n addr.Name, perm addr.Perm, wb []addr.Name) AccessResult {
 	l1 := h.l1d[core]
 	if kind == Fetch {
 		l1 = h.l1i[core]
 	}
-	res := AccessResult{Latency: l1.Config().HitLatency}
+	res := AccessResult{Latency: l1.Config().HitLatency, Writebacks: wb}
 
 	if l := l1.Access(n); l != nil {
 		res.HitLevel = 1
@@ -233,8 +253,7 @@ func (h *Hierarchy) llcAbsorbDirty(n addr.Name, perm addr.Perm) {
 	}
 	// Not in the LLC: fill it, preserving inclusion for the victim.
 	if v, ok := h.llc.Fill(n, Modified, perm); ok {
-		var scratch AccessResult
-		h.backInvalidate(v.Name, &scratch)
+		h.backInvalidate(v.Name, nil)
 		if v.Dirty {
 			h.MemWritebacks.Inc()
 		}
@@ -297,7 +316,9 @@ func (h *Hierarchy) handleL2Victim(core int, v Victim) {
 }
 
 // backInvalidate removes an LLC victim from every private cache (inclusive
-// LLC), folding any dirtier private copy into the writeback.
+// LLC), folding any dirtier private copy into the writeback. res may be
+// nil when the caller has no use for the writeback name (dirty absorption,
+// where the data lives on in the LLC).
 func (h *Hierarchy) backInvalidate(n addr.Name, res *AccessResult) {
 	dirty := false
 	for c := 0; c < h.cfg.NumCores; c++ {
@@ -309,7 +330,9 @@ func (h *Hierarchy) backInvalidate(n addr.Name, res *AccessResult) {
 		}
 	}
 	if dirty {
-		res.Writebacks = append(res.Writebacks, n)
+		if res != nil {
+			res.Writebacks = append(res.Writebacks, n)
+		}
 		h.MemWritebacks.Inc()
 	}
 }

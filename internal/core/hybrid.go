@@ -8,6 +8,7 @@ import (
 	"hybridvc/internal/energy"
 	"hybridvc/internal/mem"
 	"hybridvc/internal/osmodel"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/segment"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/tlb"
@@ -102,14 +103,28 @@ func delayedTLBLatency(entries int) uint64 {
 	}
 }
 
-type permKey struct {
-	asid addr.ASID
-	page uint64
+// permKey packs (ASID, VPN) into one word: the VPN needs VABits-PageBits
+// = 36 bits, leaving the top bits for the 16-bit ASID. A scalar key keeps
+// the shadow-permission map on the runtime's fast uint64 path — this
+// lookup runs once per virtually routed access, so hashing a struct key
+// was measurable on the hot path.
+type permKey uint64
+
+func makePermKey(asid addr.ASID, page uint64) permKey {
+	return permKey(uint64(asid)<<(addr.VABits-addr.PageBits) | page)
 }
 
-// HybridMMU is the hybrid virtual caching memory system.
+// asid recovers the address space a key belongs to (ASID flushes).
+func (k permKey) asid() addr.ASID {
+	return addr.ASID(k >> (addr.VABits - addr.PageBits))
+}
+
+// HybridMMU is the hybrid virtual caching memory system. It is wired as
+// pipeline stages: HybridMMU itself is the FrontEnd (synonym filter,
+// synonym TLB path, permission faults) and the Backend (delayed
+// translation, writeback translation) around the shared engine.
 type HybridMMU struct {
-	*Base
+	*pipeline.Engine
 	cfg    HybridConfig
 	kernel *osmodel.Kernel
 
@@ -122,7 +137,7 @@ type HybridMMU struct {
 
 	// shadowPerm caches translation permissions for cache fills
 	// (simulator bookkeeping, not hardware state).
-	shadowPerm map[permKey]addr.Perm
+	shadowPerm *permTable
 
 	// fpWindow tracks per-ASID (accesses, false positives) for the
 	// adaptive filter rebuild policy.
@@ -169,12 +184,12 @@ func NewHybridMMU(cfg HybridConfig, k *osmodel.Kernel) *HybridMMU {
 		cfg.Energy.PerAccess[energy.DelayedTLB] = energy.DelayedTLBEnergy(cfg.DelayedTLBEntries)
 	}
 	m := &HybridMMU{
-		Base:       NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
 		cfg:        cfg,
 		kernel:     k,
-		shadowPerm: make(map[permKey]addr.Perm),
+		shadowPerm: newPermTable(),
 		fpWindow:   make(map[addr.ASID]*fpStats),
 	}
+	m.Engine = pipeline.NewEngine(NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), m, nil, m)
 	for i := 0; i < cfg.Hier.NumCores; i++ {
 		m.synTLB = append(m.synTLB, tlb.New(tlb.Config{
 			Name: fmt.Sprintf("syn-tlb[%d]", i), Entries: cfg.SynTLBEntries, Ways: 4, Latency: 1,
@@ -217,12 +232,6 @@ func (m *HybridMMU) Name() string {
 	}
 }
 
-// Energy implements MemSystem.
-func (m *HybridMMU) Energy() *energy.Accumulator { return m.Acc }
-
-// Hierarchy implements MemSystem.
-func (m *HybridMMU) Hierarchy() *cache.Hierarchy { return m.Hier }
-
 // Translator exposes the segment translator (nil for page-TLB mode).
 func (m *HybridMMU) Translator() *segment.Translator { return m.translator }
 
@@ -235,24 +244,22 @@ func (m *HybridMMU) SynTLB(core int) *tlb.TLB { return m.synTLB[core] }
 // fillPerm returns the permission to record on a fill of (asid, page),
 // from the shadow cache or the process page tables.
 func (m *HybridMMU) fillPerm(proc *osmodel.Process, va addr.VA) addr.Perm {
-	key := permKey{proc.ASID, va.Page()}
-	if p, ok := m.shadowPerm[key]; ok {
+	key := makePermKey(proc.ASID, va.Page())
+	if p, ok := m.shadowPerm.get(key); ok {
 		return p
 	}
 	pte, ok := proc.PT.Lookup(va.PageAligned())
 	if !ok {
 		return addr.PermNone
 	}
-	m.shadowPerm[key] = pte.Perm
+	m.shadowPerm.set(key, pte.Perm)
 	return pte.Perm
 }
 
-// Access implements MemSystem: the full Figure 1 flow.
-func (m *HybridMMU) Access(req Request) Result {
-	var res Result
-
-	// 1. Synonym filter probe. For non-synonym addresses the probe
-	// overlaps the L1 access, so it adds no latency; only energy.
+// Route implements pipeline.FrontEnd: the pre-L1 part of the Figure 1
+// flow. The synonym filter probe overlaps the L1 access for non-synonym
+// addresses, so it adds no latency; only energy.
+func (m *HybridMMU) Route(req *Request, res *Result) pipeline.Decision {
 	candidate := false
 	if !m.cfg.FilterBypass {
 		m.Acc.Access(energy.SynonymFilter, 1)
@@ -263,15 +270,14 @@ func (m *HybridMMU) Access(req Request) Result {
 	}
 	if candidate {
 		m.SynonymCandidates.Inc()
-		return m.synonymPath(req)
+		return m.routeSynonym(req, res)
 	}
 	m.NonSynonymAccesses.Inc()
-	return m.virtualPath(req, res)
+	return m.routeVirtual(req, res)
 }
 
-// synonymPath handles synonym candidates: TLB before L1 (Section III-A).
-func (m *HybridMMU) synonymPath(req Request) Result {
-	var res Result
+// routeSynonym handles synonym candidates: TLB before L1 (Section III-A).
+func (m *HybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decision {
 	st := m.synTLB[req.Core]
 	m.Acc.Access(energy.SynonymTLB, 1)
 	res.Latency += st.Config().Latency
@@ -285,12 +291,12 @@ func (m *HybridMMU) synonymPath(req Request) Result {
 			res.Latency += fl
 			res.Fault = true
 			if !fixed {
-				return res
+				return pipeline.DoneNow()
 			}
 			leaf, lat, ok = m.TimedWalk(req.Core, req.Proc, req.VA.PageAligned())
 			res.Latency += lat
 			if !ok {
-				return res
+				return pipeline.DoneNow()
 			}
 		}
 		ne := tlb.Entry{
@@ -308,7 +314,7 @@ func (m *HybridMMU) synonymPath(req Request) Result {
 		if w := m.fpWindow[req.Proc.ASID]; w != nil {
 			w.fps++
 		}
-		return m.virtualPath(req, res)
+		return m.routeVirtual(req, res)
 	}
 	m.TrueSynonymAccesses.Inc()
 
@@ -318,27 +324,21 @@ func (m *HybridMMU) synonymPath(req Request) Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		// The fault remapped the page privately (CoW); retry as a fresh
 		// access (the shootdown already removed the stale entry).
-		r2 := m.Access(req)
-		res.Latency += r2.Latency
-		res.LLCMiss = r2.LLCMiss
-		return res
+		m.Retry(req, res)
+		return pipeline.DoneNow()
 	}
 
 	pa := addr.FrameToPA(e.PFN) + addr.PA(req.VA.PageOffset())
-	lat, hres := m.PhysAccess(req.Core, req.Kind, pa, e.Perm)
-	res.Latency += lat
-	res.LLCMiss = hres.LLCMiss
-	res.HitLevel = hres.HitLevel
-	return res
+	return pipeline.GoPhysical(pa, e.Perm)
 }
 
-// virtualPath handles non-synonym accesses: ASID+VA through the whole
-// hierarchy, delayed translation after an LLC miss.
-func (m *HybridMMU) virtualPath(req Request, res Result) Result {
+// routeVirtual handles non-synonym accesses: demand-paging and CoW faults
+// up front, then ASID+VA through the whole hierarchy.
+func (m *HybridMMU) routeVirtual(req *Request, res *Result) pipeline.Decision {
 	perm := m.fillPerm(req.Proc, req.VA)
 	if perm == addr.PermNone {
 		// Unmapped: demand paging fault, then retry.
@@ -346,11 +346,11 @@ func (m *HybridMMU) virtualPath(req Request, res Result) Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		perm = m.fillPerm(req.Proc, req.VA)
 		if perm == addr.PermNone {
-			return res
+			return pipeline.DoneNow()
 		}
 	}
 	if req.Kind == cache.Write && !perm.AllowsWrite() {
@@ -358,16 +358,16 @@ func (m *HybridMMU) virtualPath(req Request, res Result) Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		perm = m.fillPerm(req.Proc, req.VA)
 	}
+	return pipeline.GoVirtual(perm)
+}
 
-	name := addr.VirtName(req.Proc.ASID, req.VA)
-	hres := m.Hier.Access(req.Core, req.Kind, name, perm)
-	res.Latency += hres.Latency
-	res.HitLevel = hres.HitLevel
-
+// Finish implements pipeline.Backend: delayed translation after the LLC,
+// DRAM, and writeback translation.
+func (m *HybridMMU) Finish(req *Request, res *Result, hres *cache.AccessResult) {
 	if m.cfg.ParallelDelayed && hres.HitLevel == 3 {
 		// Parallel mode: the translation was launched alongside the LLC
 		// lookup; the hit makes its result unnecessary, but the energy
@@ -392,7 +392,7 @@ func (m *HybridMMU) virtualPath(req Request, res Result) Result {
 			fl, _ := m.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
 			res.Latency += fl
 			res.Fault = true
-			return res
+			return
 		}
 		res.Latency += m.DRAM.Access(pa)
 	}
@@ -406,7 +406,6 @@ func (m *HybridMMU) virtualPath(req Request, res Result) Result {
 			m.delayedTranslate(req.Core, m.procFor(wb.ASID, req.Proc), addr.VA(wb.Addr))
 		}
 	}
-	return res
 }
 
 // stepRebuildPolicy advances the adaptive filter rebuild window for the
@@ -446,7 +445,12 @@ func (m *HybridMMU) delayedTranslate(core int, proc *osmodel.Process, va addr.VA
 		if m.cfg.WithSegmentCache {
 			m.Acc.Access(energy.SegmentCache, 1)
 		}
-		tres := m.translator.Translate(proc.ASID, va)
+		var tres segment.TranslateResult
+		if m.ScratchMode() {
+			tres = m.translator.TranslateReuse(proc.ASID, va)
+		} else {
+			tres = m.translator.Translate(proc.ASID, va)
+		}
 		if !tres.SCHit {
 			m.Acc.Access(energy.IndexCache, uint64(tres.ICProbes))
 			m.Acc.Access(energy.SegmentTable, 1)
@@ -491,14 +495,14 @@ func (m *HybridMMU) TLBShootdown(asid addr.ASID, vpn uint64) {
 		// Conservative: the 2 MiB granule containing the page.
 		m.translator.SC.FlushAll()
 	}
-	delete(m.shadowPerm, permKey{asid, vpn})
+	m.shadowPerm.del(makePermKey(asid, vpn))
 }
 
 // FlushPage removes a page's lines from the hierarchy.
 func (m *HybridMMU) FlushPage(page addr.Name) {
 	m.Hier.FlushPage(page)
 	if !page.Synonym {
-		delete(m.shadowPerm, permKey{page.ASID, page.Page()})
+		m.shadowPerm.del(makePermKey(page.ASID, page.Page()))
 	}
 }
 
@@ -506,7 +510,7 @@ func (m *HybridMMU) FlushPage(page addr.Name) {
 func (m *HybridMMU) SetPagePerm(page addr.Name, perm addr.Perm) {
 	m.Hier.SetPagePerm(page, perm)
 	if !page.Synonym {
-		m.shadowPerm[permKey{page.ASID, page.Page()}] = perm
+		m.shadowPerm.set(makePermKey(page.ASID, page.Page()), perm)
 	}
 }
 
@@ -529,10 +533,6 @@ func (m *HybridMMU) FlushASID(asid addr.ASID) {
 	if m.translator != nil && m.translator.SC != nil {
 		m.translator.SC.FlushAll()
 	}
-	for key := range m.shadowPerm {
-		if key.asid == asid {
-			delete(m.shadowPerm, key)
-		}
-	}
+	m.shadowPerm.flushASID(asid)
 	delete(m.fpWindow, asid)
 }

@@ -5,42 +5,43 @@
 // while synonym candidates — detected by the Bloom-filter synonym filter —
 // take a conventional pre-L1 TLB path and are cached physically.
 //
-// The package also defines the MemSystem interface and shared plumbing
-// (physical access path, timed page walker) that the baseline
-// organizations in internal/baseline build on.
+// The package defines the MemSystem interface and re-exports the shared
+// access-pipeline plumbing (requests, results, the physical access path,
+// the timed page walker) from internal/pipeline, which the baseline
+// organizations in internal/baseline build on as well. Every organization
+// is wired as pipeline stages (FrontEnd -> cache stage -> Backend) run by
+// the shared pipeline.Engine.
 package core
 
 import (
-	"hybridvc/internal/addr"
 	"hybridvc/internal/cache"
 	"hybridvc/internal/energy"
 	"hybridvc/internal/mem"
-	"hybridvc/internal/osmodel"
-	"hybridvc/internal/stats"
+	"hybridvc/internal/pipeline"
 )
 
 // Request is one memory reference presented to a memory system.
-type Request struct {
-	// Core is the issuing core index.
-	Core int
-	// Kind is Read, Write, or Fetch.
-	Kind cache.AccessKind
-	// VA is the (guest) virtual address.
-	VA addr.VA
-	// Proc is the issuing process.
-	Proc *osmodel.Process
-}
+type Request = pipeline.Request
 
-// Result reports the outcome of a reference.
-type Result struct {
-	// Latency is the end-to-end memory access latency in cycles.
-	Latency uint64
-	// LLCMiss reports that the data came from DRAM.
-	LLCMiss bool
-	// HitLevel is the cache level that supplied the data (0 = memory).
-	HitLevel int
-	// Fault reports that the OS had to intervene (demand paging, CoW).
-	Fault bool
+// Result reports the outcome of a reference. Result.HitLevel uses the
+// same scale in every organization: 1/2/3 for the level that supplied the
+// data, 0 for memory.
+type Result = pipeline.Result
+
+// Base bundles the pieces every memory system shares and the physical
+// access path they all use.
+type Base = pipeline.Base
+
+// WalkLeaf is the result of a page walk.
+type WalkLeaf = pipeline.WalkLeaf
+
+// FaultLatency is the cycles charged for an OS fault handler invocation
+// (demand paging, CoW break, cold segment fill).
+const FaultLatency = pipeline.FaultLatency
+
+// NewBase builds the shared substrate.
+func NewBase(hcfg cache.HierarchyConfig, dcfg mem.DRAMConfig, model energy.Model) *Base {
+	return pipeline.NewBase(hcfg, dcfg, model)
 }
 
 // MemSystem is a complete memory system organization: address translation
@@ -48,6 +49,10 @@ type Result struct {
 type MemSystem interface {
 	// Access performs one reference.
 	Access(req Request) Result
+	// AccessBatch performs len(reqs) references in order, writing outcome
+	// i into res[i] — the allocation-free hot path. Both slices are caller
+	// provided and reusable; results match len(reqs) Access calls.
+	AccessBatch(reqs []Request, res []Result)
 	// Energy returns the translation-energy accumulator.
 	Energy() *energy.Accumulator
 	// Hierarchy exposes the cache hierarchy for statistics.
@@ -56,97 +61,9 @@ type MemSystem interface {
 	Name() string
 }
 
-// FaultLatency is the cycles charged for an OS fault handler invocation
-// (demand paging, CoW break, cold segment fill).
-const FaultLatency = 3000
-
-// Base bundles the pieces every memory system shares and the physical
-// access path they all use.
-type Base struct {
-	Hier *cache.Hierarchy
-	DRAM *mem.DRAM
-	Acc  *energy.Accumulator
-
-	// Faults counts OS interventions.
-	Faults stats.Counter
-	// WalkSteps counts PTE fetches issued by timed page walks.
-	WalkSteps stats.Counter
-}
-
-// NewBase builds the shared substrate.
-func NewBase(hcfg cache.HierarchyConfig, dcfg mem.DRAMConfig, model energy.Model) *Base {
-	return &Base{
-		Hier: cache.NewHierarchy(hcfg),
-		DRAM: mem.NewDRAM(dcfg),
-		Acc:  energy.NewAccumulator(model),
-	}
-}
-
-// PhysAccess performs a physically addressed access (synonym data, PTE
-// fetches, baseline data) through the hierarchy and DRAM, returning the
-// latency and whether the LLC missed.
-func (b *Base) PhysAccess(core int, kind cache.AccessKind, pa addr.PA, perm addr.Perm) (uint64, cache.AccessResult) {
-	res := b.Hier.Access(core, kind, addr.PhysName(pa), perm)
-	lat := res.Latency
-	if res.LLCMiss {
-		lat += b.DRAM.Access(pa)
-	}
-	// Physical writebacks need no translation; ignore res.Writebacks here.
-	return lat, res
-}
-
-// TimedWalk performs a hardware page walk for (proc, va), fetching each
-// PTE through the cache hierarchy (so large caches absorb walk traffic).
-// It returns the leaf, the total latency, and whether the walk succeeded.
-func (b *Base) TimedWalk(core int, proc *osmodel.Process, va addr.VA) (pte WalkLeaf, latency uint64, ok bool) {
-	b.Acc.Access(energy.PageWalk, 1)
-	path, leaf, found := proc.PT.WalkPath(va)
-	for _, slot := range path {
-		b.WalkSteps.Inc()
-		lat, _ := b.PhysAccess(core, cache.Read, slot, addr.PermRO)
-		latency += lat
-	}
-	if !found {
-		return WalkLeaf{}, latency, false
-	}
-	return WalkLeaf{
-		Frame:  leaf.Frame,
-		Perm:   leaf.Perm,
-		Shared: leaf.Shared,
-		Huge:   leaf.Huge,
-	}, latency, true
-}
-
-// WalkLeaf is the result of a page walk.
-type WalkLeaf struct {
-	Frame  uint64
-	Perm   addr.Perm
-	Shared bool
-	// Huge marks a 2 MiB leaf; Frame is then the 2 MiB-aligned frame.
-	Huge bool
-}
-
-// PA composes the leaf with the in-page offset.
-func (l WalkLeaf) PA(va addr.VA) addr.PA {
-	if l.Huge {
-		return addr.FrameToPA(l.Frame) + addr.PA(uint64(va)&(addr.HugePageSize-1))
-	}
-	return addr.FrameToPA(l.Frame) + addr.PA(va.PageOffset())
-}
-
-// FrameFor4K returns the 4 KiB frame backing va — for huge leaves this
-// "fractures" the mapping into the page-granular TLB entries real CPUs
-// install when a structure only supports 4 KiB translations.
-func (l WalkLeaf) FrameFor4K(va addr.VA) uint64 {
-	if !l.Huge {
-		return l.Frame
-	}
-	return l.Frame + (uint64(va)>>addr.PageBits)&(addr.HugePageSize/addr.PageSize-1)
-}
-
-// HandleFault invokes the OS fault handler and charges its latency.
-func (b *Base) HandleFault(proc *osmodel.Process, va addr.VA, isWrite bool) (uint64, bool) {
-	b.Faults.Inc()
-	ok := proc.HandleFault(va, isWrite)
-	return FaultLatency, ok
+// BaseHolder is implemented by every organization embedding *Base (all of
+// them, through the pipeline engine): generic tooling uses it to reach
+// the shared counters without a per-organization type switch.
+type BaseHolder interface {
+	BaseState() *Base
 }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"hybridvc/internal/addr"
+)
+
+// TestPermTableAgainstMap drives the table and a reference map through the
+// same randomized-ish operation stream: inserts across two address spaces,
+// updates, deletes, an ASID flush, and enough keys to force several grows.
+func TestPermTableAgainstMap(t *testing.T) {
+	tab := newPermTable()
+	ref := make(map[permKey]addr.Perm)
+	asids := []addr.ASID{addr.MakeASID(0, 1), addr.MakeASID(0, 2), addr.MakeASID(1, 1)}
+
+	put := func(a addr.ASID, page uint64, p addr.Perm) {
+		k := makePermKey(a, page)
+		tab.set(k, p)
+		ref[k] = p
+	}
+	del := func(a addr.ASID, page uint64) {
+		k := makePermKey(a, page)
+		tab.del(k)
+		delete(ref, k)
+	}
+	check := func(when string) {
+		t.Helper()
+		if tab.live != len(ref) {
+			t.Fatalf("%s: live %d, reference holds %d", when, tab.live, len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := tab.get(k); !ok || got != want {
+				t.Fatalf("%s: get(%#x) = %v,%v want %v", when, uint64(k), got, ok, want)
+			}
+		}
+	}
+
+	for i := uint64(0); i < 5000; i++ {
+		put(asids[i%3], i*7%4099, addr.Perm(i%3))
+	}
+	check("after inserts")
+	if _, ok := tab.get(makePermKey(asids[0], 1<<30)); ok {
+		t.Fatal("get of never-inserted key succeeded")
+	}
+	for i := uint64(0); i < 5000; i += 2 {
+		del(asids[i%3], i*7%4099)
+	}
+	check("after deletes")
+	for i := uint64(0); i < 2000; i++ {
+		put(asids[i%3], i*13%8191, addr.PermRW)
+	}
+	check("after reinserts over tombstones")
+
+	tab.flushASID(asids[1])
+	for k := range ref {
+		if k.asid() == asids[1] {
+			delete(ref, k)
+		}
+	}
+	check("after flushASID")
+}

@@ -8,6 +8,7 @@ import (
 	"hybridvc/internal/energy"
 	"hybridvc/internal/mem"
 	"hybridvc/internal/osmodel"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/segment"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/synfilter"
@@ -126,9 +127,10 @@ func (sc *VirtSegCache) FlushAll() {
 // accesses, non-synonyms run the whole hierarchy as VMID-extended ASID +
 // gVA (so VMs can never hit each other's virtually named lines), and LLC
 // misses perform two-step delayed segment translation (guest gVA->gPA,
-// host gPA->MA), short-cut by the direct gVA->MA segment cache.
+// host gPA->MA), short-cut by the direct gVA->MA segment cache. Like the
+// native MMU it is its own pipeline FrontEnd and Backend.
 type VirtHybridMMU struct {
-	*Base
+	*pipeline.Engine
 	cfg VirtHybridConfig
 	// vm is the primary VM (the first registered).
 	vm  *virt.VM
@@ -143,7 +145,7 @@ type VirtHybridMMU struct {
 
 	pairs map[addr.ASID]*synfilter.Pair
 
-	shadowPerm map[permKey]addr.Perm
+	shadowPerm *permTable
 
 	SynonymCandidates   stats.Counter
 	FalsePositives      stats.Counter
@@ -164,15 +166,15 @@ func NewVirtHybridMMU(cfg VirtHybridConfig, vm *virt.VM, hv *virt.Hypervisor) *V
 		cfg.IndexCacheBytes = 32 << 10
 	}
 	m := &VirtHybridMMU{
-		Base:       NewBase(cfg.Hier, cfg.DRAM, cfg.Energy),
 		cfg:        cfg,
 		vm:         vm,
 		vms:        make(map[uint32]*virt.VM),
 		walkers:    make(map[uint32]*virt.Walker2D),
 		guestXlate: make(map[uint32]*segment.Translator),
 		pairs:      make(map[addr.ASID]*synfilter.Pair),
-		shadowPerm: make(map[permKey]addr.Perm),
+		shadowPerm: newPermTable(),
 	}
+	m.Engine = pipeline.NewEngine(NewBase(cfg.Hier, cfg.DRAM, cfg.Energy), m, nil, m)
 	for i := 0; i < cfg.Hier.NumCores; i++ {
 		m.synTLB = append(m.synTLB, tlb.New(tlb.Config{
 			Name: fmt.Sprintf("vsyn-tlb[%d]", i), Entries: cfg.SynTLBEntries, Ways: 4, Latency: 1,
@@ -224,12 +226,6 @@ func (m *VirtHybridMMU) Name() string {
 	return "virt-hybrid"
 }
 
-// Energy implements MemSystem.
-func (m *VirtHybridMMU) Energy() *energy.Accumulator { return m.Acc }
-
-// Hierarchy implements MemSystem.
-func (m *VirtHybridMMU) Hierarchy() *cache.Hierarchy { return m.Hier }
-
 // SC exposes the virtualized segment cache (nil when disabled).
 func (m *VirtHybridMMU) SC() *VirtSegCache { return m.sc }
 
@@ -246,15 +242,15 @@ func (m *VirtHybridMMU) pair(p *osmodel.Process) *synfilter.Pair {
 // fillPerm mirrors the native MMU's shadow permission cache, using the
 // guest page tables.
 func (m *VirtHybridMMU) fillPerm(proc *osmodel.Process, gva addr.VA) addr.Perm {
-	key := permKey{proc.ASID, gva.Page()}
-	if p, ok := m.shadowPerm[key]; ok {
+	key := makePermKey(proc.ASID, gva.Page())
+	if p, ok := m.shadowPerm.get(key); ok {
 		return p
 	}
 	pte, ok := proc.PT.Lookup(gva.PageAligned())
 	if !ok {
 		return addr.PermNone
 	}
-	m.shadowPerm[key] = pte.Perm
+	m.shadowPerm.set(key, pte.Perm)
 	return pte.Perm
 }
 
@@ -272,21 +268,19 @@ func (m *VirtHybridMMU) timed2DWalk(core int, proc *osmodel.Process, gva addr.VA
 	return res, lat
 }
 
-// Access implements MemSystem: Figure 1 extended with Section V.
-func (m *VirtHybridMMU) Access(req Request) Result {
-	var res Result
+// Route implements pipeline.FrontEnd: Figure 1 extended with Section V.
+func (m *VirtHybridMMU) Route(req *Request, res *Result) pipeline.Decision {
 	m.Acc.Access(energy.SynonymFilter, 2) // both guest and host filters
 	if m.pair(req.Proc).IsCandidate(req.VA) {
 		m.SynonymCandidates.Inc()
-		return m.synonymPath(req)
+		return m.routeSynonym(req, res)
 	}
 	m.NonSynonymAccesses.Inc()
-	return m.virtualPath(req, res)
+	return m.routeVirtual(req, res)
 }
 
-// synonymPath: TLB (gVA->MA) before L1, filled by 2D walks.
-func (m *VirtHybridMMU) synonymPath(req Request) Result {
-	var res Result
+// routeSynonym: TLB (gVA->MA) before L1, filled by 2D walks.
+func (m *VirtHybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decision {
 	st := m.synTLB[req.Core]
 	m.Acc.Access(energy.SynonymTLB, 1)
 	res.Latency += st.Config().Latency
@@ -300,12 +294,12 @@ func (m *VirtHybridMMU) synonymPath(req Request) Result {
 			res.Latency += fl
 			res.Fault = true
 			if !fixed {
-				return res
+				return pipeline.DoneNow()
 			}
 			wres, lat = m.timed2DWalk(req.Core, req.Proc, req.VA.PageAligned())
 			res.Latency += lat
 			if !wres.OK {
-				return res
+				return pipeline.DoneNow()
 			}
 		}
 		shared := wres.GuestPTE.Shared || wres.HostShared
@@ -318,7 +312,7 @@ func (m *VirtHybridMMU) synonymPath(req Request) Result {
 	}
 	if e.NonSynonym {
 		m.FalsePositives.Inc()
-		return m.virtualPath(req, res)
+		return m.routeVirtual(req, res)
 	}
 	m.TrueSynonymAccesses.Inc()
 	if req.Kind == cache.Write && !e.Perm.AllowsWrite() {
@@ -326,34 +320,29 @@ func (m *VirtHybridMMU) synonymPath(req Request) Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
-		r2 := m.Access(req)
-		res.Latency += r2.Latency
-		return res
+		m.Retry(req, res)
+		return pipeline.DoneNow()
 	}
 	ma := addr.FrameToPA(e.PFN) + addr.PA(req.VA.PageOffset())
-	lat, hres := m.PhysAccess(req.Core, req.Kind, ma, e.Perm)
-	res.Latency += lat
-	res.LLCMiss = hres.LLCMiss
-	res.HitLevel = hres.HitLevel
-	return res
+	return pipeline.GoPhysical(ma, e.Perm)
 }
 
-// virtualPath: VMID-extended ASID + gVA addressing, two-step delayed
-// segment translation after LLC misses.
-func (m *VirtHybridMMU) virtualPath(req Request, res Result) Result {
+// routeVirtual: VMID-extended ASID + gVA addressing; demand-paging and
+// CoW faults resolve before the hierarchy runs.
+func (m *VirtHybridMMU) routeVirtual(req *Request, res *Result) pipeline.Decision {
 	perm := m.fillPerm(req.Proc, req.VA)
 	if perm == addr.PermNone {
 		fl, fixed := m.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		perm = m.fillPerm(req.Proc, req.VA)
 		if perm == addr.PermNone {
-			return res
+			return pipeline.DoneNow()
 		}
 	}
 	if req.Kind == cache.Write && !perm.AllowsWrite() {
@@ -361,15 +350,16 @@ func (m *VirtHybridMMU) virtualPath(req Request, res Result) Result {
 		res.Latency += fl
 		res.Fault = true
 		if !fixed {
-			return res
+			return pipeline.DoneNow()
 		}
 		perm = m.fillPerm(req.Proc, req.VA)
 	}
+	return pipeline.GoVirtual(perm)
+}
 
-	name := addr.VirtName(req.Proc.ASID, req.VA)
-	hres := m.Hier.Access(req.Core, req.Kind, name, perm)
-	res.Latency += hres.Latency
-	res.HitLevel = hres.HitLevel
+// Finish implements pipeline.Backend: two-step delayed segment
+// translation after LLC misses, DRAM, and writeback translation.
+func (m *VirtHybridMMU) Finish(req *Request, res *Result, hres *cache.AccessResult) {
 	if hres.LLCMiss {
 		res.LLCMiss = true
 		m.DelayedTranslations.Inc()
@@ -379,7 +369,7 @@ func (m *VirtHybridMMU) virtualPath(req Request, res Result) Result {
 			fl, _ := m.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
 			res.Latency += fl
 			res.Fault = true
-			return res
+			return
 		}
 		res.Latency += m.DRAM.Access(ma)
 	}
@@ -390,7 +380,6 @@ func (m *VirtHybridMMU) virtualPath(req Request, res Result) Result {
 			}
 		}
 	}
-	return res
 }
 
 // delayed2D translates gVA -> MA after an LLC miss: SC first, then the
@@ -406,7 +395,7 @@ func (m *VirtHybridMMU) delayed2D(proc *osmodel.Process, gva addr.VA) (addr.PA, 
 	}
 	m.TwoStepXlations.Inc()
 	// Guest step: gVA -> gPA.
-	g := m.guestXlate[proc.ASID.VMID()].Translate(proc.ASID, gva)
+	g := m.xlate(m.guestXlate[proc.ASID.VMID()], proc.ASID, gva)
 	m.Acc.Access(energy.IndexCache, uint64(g.ICProbes))
 	m.Acc.Access(energy.SegmentTable, 1)
 	lat += g.Latency
@@ -415,7 +404,7 @@ func (m *VirtHybridMMU) delayed2D(proc *osmodel.Process, gva addr.VA) (addr.PA, 
 	}
 	gpa := addr.GPA(g.PA)
 	// Host step: gPA -> MA.
-	h := m.hostXlate.Translate(hostASIDOf(proc.ASID.VMID()), addr.VA(gpa))
+	h := m.xlate(m.hostXlate, hostASIDOf(proc.ASID.VMID()), addr.VA(gpa))
 	m.Acc.Access(energy.IndexCache, uint64(h.ICProbes))
 	m.Acc.Access(energy.SegmentTable, 1)
 	lat += h.Latency
@@ -451,6 +440,15 @@ func (m *VirtHybridMMU) fillSC(asid addr.ASID, gva addr.VA, gseg, hseg *segment.
 	m.sc.Fill(asid, gva, maBase, m.fillPerm(m.vmOf(asid).Kernel.Process(asid), gva))
 }
 
+// xlate runs one segment translation step, on the translator's scratch
+// path buffer when the engine is in batched (allocation-free) mode.
+func (m *VirtHybridMMU) xlate(tr *segment.Translator, asid addr.ASID, va addr.VA) segment.TranslateResult {
+	if m.ScratchMode() {
+		return tr.TranslateReuse(asid, va)
+	}
+	return tr.Translate(asid, va)
+}
+
 // hostASIDOf mirrors virt's host pseudo-ASID convention.
 func hostASIDOf(vmid uint32) addr.ASID { return addr.MakeASID(vmid, 0) }
 
@@ -464,14 +462,14 @@ func (m *VirtHybridMMU) TLBShootdown(asid addr.ASID, vpn uint64) {
 	if m.sc != nil {
 		m.sc.FlushAll()
 	}
-	delete(m.shadowPerm, permKey{asid, vpn})
+	m.shadowPerm.del(makePermKey(asid, vpn))
 }
 
 // FlushPage implements the sink.
 func (m *VirtHybridMMU) FlushPage(page addr.Name) {
 	m.Hier.FlushPage(page)
 	if !page.Synonym {
-		delete(m.shadowPerm, permKey{page.ASID, page.Page()})
+		m.shadowPerm.del(makePermKey(page.ASID, page.Page()))
 	}
 }
 
@@ -479,7 +477,7 @@ func (m *VirtHybridMMU) FlushPage(page addr.Name) {
 func (m *VirtHybridMMU) SetPagePerm(page addr.Name, perm addr.Perm) {
 	m.Hier.SetPagePerm(page, perm)
 	if !page.Synonym {
-		m.shadowPerm[permKey{page.ASID, page.Page()}] = perm
+		m.shadowPerm.set(makePermKey(page.ASID, page.Page()), perm)
 	}
 }
 
@@ -495,10 +493,6 @@ func (m *VirtHybridMMU) FlushASID(asid addr.ASID) {
 	if m.sc != nil {
 		m.sc.FlushAll()
 	}
-	for key := range m.shadowPerm {
-		if key.asid == asid {
-			delete(m.shadowPerm, key)
-		}
-	}
+	m.shadowPerm.flushASID(asid)
 	delete(m.pairs, asid)
 }

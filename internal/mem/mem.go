@@ -6,6 +6,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -197,11 +198,7 @@ func (s *Store) Read64(pa addr.PA) uint64 {
 		return 0
 	}
 	off := pa.PageOffset()
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(p[off+uint64(i)]) << (8 * i)
-	}
-	return v
+	return binary.LittleEndian.Uint64(p[off : off+8])
 }
 
 // Write64 writes the 8-byte word at pa (must be 8-byte aligned).
@@ -211,9 +208,7 @@ func (s *Store) Write64(pa addr.PA, v uint64) {
 	}
 	p := s.page(pa)
 	off := pa.PageOffset()
-	for i := 0; i < 8; i++ {
-		p[off+uint64(i)] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(p[off:off+8], v)
 }
 
 // ZeroPage clears the page containing pa.

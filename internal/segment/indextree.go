@@ -202,8 +202,17 @@ func (t *IndexTree) Lookup(asid addr.ASID, va addr.VA) (ID, []addr.PA) {
 	if t.root == nil {
 		return NoID, nil
 	}
+	return t.LookupInto(asid, va, make([]addr.PA, 0, t.depth))
+}
+
+// LookupInto is Lookup appending the visited node addresses into path
+// (reusing its backing array) instead of allocating per walk; callers on
+// the batched hot path pass a scratch slice they own.
+func (t *IndexTree) LookupInto(asid addr.ASID, va addr.VA, path []addr.PA) (ID, []addr.PA) {
+	if t.root == nil {
+		return NoID, path
+	}
 	key := MakeKey(asid, va)
-	path := make([]addr.PA, 0, t.depth)
 	n := t.root
 	for {
 		path = append(path, n.pa)

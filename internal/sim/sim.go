@@ -53,11 +53,33 @@ type Simulator struct {
 	sliceLeft []uint64
 	fetchOff  []uint64
 
+	// l1iHitLat is the L1I hit latency, hoisted out of the per-reference
+	// loop (fetches slower than this stall the front end).
+	l1iHitLat uint64
+
+	// plans/reqs/results are the reusable chunk buffers of the batched
+	// access path: each Interleave-sized chunk is decoded into plans and
+	// its references gathered into reqs, executed in one AccessBatch call
+	// into results, and then retired against the timing core.
+	plans   []stepPlan
+	reqs    []core.Request
+	results []core.Result
+
 	// ContextSwitches counts generator switches (filter reloads happen
 	// via the OS on real switches; here we count them for energy).
 	ContextSwitches stats.Counter
 	// Retired counts instructions per core.
 	Retired []uint64
+}
+
+// stepPlan records the decode of one planned instruction so the replay
+// phase can retire it against the batched memory results.
+type stepPlan struct {
+	// fetch and mem index the chunk's request/result slices; -1 = absent.
+	fetch, mem    int32
+	isStore       bool
+	dependsOnPrev bool
+	mispredict    bool
 }
 
 // New creates a simulator. Generators are distributed round-robin over the
@@ -93,68 +115,102 @@ func New(cfg Config, ms core.MemSystem, gens []*workload.Generator) *Simulator {
 		s.cores = append(s.cores, cpu.New(cfg.CPU))
 		s.sliceLeft[i] = cfg.Timeslice
 	}
+	s.l1iHitLat = ms.Hierarchy().Config().L1I.HitLatency
 	return s
 }
 
-// step advances core c by one instruction.
-func (s *Simulator) step(c int) {
+// runChunk advances core c by n instructions through the batched access
+// path: plan (decode the instructions, gathering their references in
+// program order), access (one AccessBatch call over the chunk), replay
+// (retire each instruction against its results). The reference order is
+// exactly the scalar per-step order — fetch before the data access of
+// each instruction — so stateful components (DRAM open rows) see an
+// identical access stream.
+func (s *Simulator) runChunk(c int, n uint64) {
 	gens := s.perCore[c]
-	if len(gens) == 0 {
+	if len(gens) == 0 || n == 0 {
 		return
 	}
-	g := gens[s.active[c]]
 	cc := s.cores[c]
+	s.plans = s.plans[:0]
+	s.reqs = s.reqs[:0]
+	retired := s.Retired[c]
+	fetchEvery := uint64(s.cfg.FetchEvery)
 
-	// Timeslice bookkeeping.
-	if len(gens) > 1 {
-		s.sliceLeft[c]--
-		if s.sliceLeft[c] == 0 {
-			s.sliceLeft[c] = s.cfg.Timeslice
-			s.active[c] = (s.active[c] + 1) % len(gens)
-			s.ContextSwitches.Inc()
+	for i := uint64(0); i < n; i++ {
+		g := gens[s.active[c]]
+
+		// Timeslice bookkeeping.
+		if len(gens) > 1 {
+			s.sliceLeft[c]--
+			if s.sliceLeft[c] == 0 {
+				s.sliceLeft[c] = s.cfg.Timeslice
+				s.active[c] = (s.active[c] + 1) % len(gens)
+				s.ContextSwitches.Inc()
+			}
 		}
+
+		p := stepPlan{fetch: -1, mem: -1}
+		// Periodic instruction fetch at line granularity.
+		if retired%fetchEvery == 0 {
+			va := g.CodeStart + addr.VA(s.fetchOff[c]%g.CodeLen)
+			s.fetchOff[c] += addr.LineSize
+			p.fetch = int32(len(s.reqs))
+			s.reqs = append(s.reqs, core.Request{
+				Core: c, Kind: cache.Fetch, VA: va, Proc: g.Proc,
+			})
+		}
+
+		in := g.Next()
+		p.dependsOnPrev = in.DependsOnPrev
+		if in.Mispredict {
+			p.mispredict = true
+		} else if in.IsMem {
+			kind := cache.Read
+			if in.IsStore {
+				kind = cache.Write
+				p.isStore = true
+			}
+			p.mem = int32(len(s.reqs))
+			s.reqs = append(s.reqs, core.Request{Core: c, Kind: kind, VA: in.VA, Proc: g.Proc})
+		}
+		s.plans = append(s.plans, p)
+		retired++
 	}
 
-	// Periodic instruction fetch at line granularity.
-	var fetchStall uint64
-	if s.Retired[c]%uint64(s.cfg.FetchEvery) == 0 {
-		va := g.CodeStart + addr.VA(s.fetchOff[c]%g.CodeLen)
-		s.fetchOff[c] += addr.LineSize
-		fres := s.memsys.Access(core.Request{
-			Core: c, Kind: cache.Fetch, VA: va, Proc: g.Proc,
-		})
-		// A fetch hitting the L1I is fully pipelined; anything slower
-		// stalls the front end.
-		if l1 := s.memsys.Hierarchy().Config().L1I.HitLatency; fres.Latency > l1 {
-			fetchStall = fres.Latency - l1
-		}
+	if cap(s.results) < len(s.reqs) {
+		s.results = make([]core.Result, len(s.reqs))
 	}
+	res := s.results[:len(s.reqs)]
+	s.memsys.AccessBatch(s.reqs, res)
 
-	in := g.Next()
-	if in.Mispredict {
-		cc.Mispredict()
+	for _, p := range s.plans {
+		if p.mispredict {
+			// The fetch (if any) still ran, but a mispredicted branch's
+			// front-end stall is subsumed by the flush penalty.
+			cc.Mispredict()
+			s.Retired[c]++
+			continue
+		}
+		var fetchStall uint64
+		if p.fetch >= 0 {
+			// A fetch hitting the L1I is fully pipelined; anything slower
+			// stalls the front end.
+			if fl := res[p.fetch].Latency; fl > s.l1iHitLat {
+				fetchStall = fl - s.l1iHitLat
+			}
+		}
+		lat := uint64(1)
+		isMem := p.mem >= 0
+		if isMem && !p.isStore {
+			lat = res[p.mem].Latency
+		}
+		// Stores retire through the store buffer; their latency is hidden
+		// unless the machine backs up, which the LSQ bound models. They
+		// charge a store-buffer insertion cost only (lat stays 1).
+		cc.Retire(lat+fetchStall, p.dependsOnPrev, isMem)
 		s.Retired[c]++
-		return
 	}
-	lat := uint64(1)
-	isMem := false
-	if in.IsMem {
-		isMem = true
-		kind := cache.Read
-		if in.IsStore {
-			kind = cache.Write
-		}
-		res := s.memsys.Access(core.Request{Core: c, Kind: kind, VA: in.VA, Proc: g.Proc})
-		lat = res.Latency
-		if in.IsStore {
-			// Stores retire through the store buffer; their latency is
-			// hidden unless the machine backs up, which the LSQ bound
-			// models. Charge a store-buffer insertion cost only.
-			lat = 1
-		}
-	}
-	cc.Retire(lat+fetchStall, in.DependsOnPrev, isMem)
-	s.Retired[c]++
 }
 
 // Run executes n instructions per core, interleaving cores in chunks so
@@ -171,9 +227,7 @@ func (s *Simulator) Run(n uint64) Report {
 			if done[c]+chunk > n {
 				chunk = n - done[c]
 			}
-			for i := uint64(0); i < chunk; i++ {
-				s.step(c)
-			}
+			s.runChunk(c, chunk)
 			done[c] += chunk
 			if chunk > 0 {
 				progressed = true
