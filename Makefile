@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci parity bench bench-hotpath bench-all sweep sweep-full clean
+.PHONY: all build test race vet ci parity bench bench-hotpath bench-check bench-all sweep sweep-full clean
 
 all: build
 
@@ -23,7 +23,10 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet test race parity
+# Set BENCH_CHECK=1 to also gate hot-path throughput against the
+# committed BENCH_hotpath.json (off by default: benchmark wall time and
+# machine-to-machine variance don't belong in every CI run).
+ci: vet test race parity $(if $(BENCH_CHECK),bench-check)
 
 # parity runs the golden refactor gate on its own: every organization's
 # full stat table must stay byte-identical to the recorded golden file,
@@ -42,6 +45,15 @@ bench:
 # plus the speedup over the recorded pre-refactor scalar baseline).
 bench-hotpath:
 	$(GO) test -run=NONE -bench=BenchmarkHotPath -benchtime=1x .
+
+# bench-check re-measures the hot path into a temp file and fails when
+# any organization's batched refs/sec regressed more than 10% against the
+# committed BENCH_hotpath.json. The committed file is left untouched.
+bench-check:
+	TMP=$$(mktemp) && \
+	BENCH_HOTPATH_OUT=$$TMP $(GO) test -run=NONE -bench=BenchmarkHotPath -benchtime=1x . && \
+	$(GO) run ./cmd/benchcheck -base BENCH_hotpath.json -new $$TMP -threshold 0.10 && \
+	rm -f $$TMP
 
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem .

@@ -118,8 +118,15 @@ func BenchmarkHotPath(b *testing.B) {
 		},
 	}, "", "  ")
 	if err == nil {
-		if werr := os.WriteFile("BENCH_hotpath.json", append(out, '\n'), 0o644); werr != nil {
-			b.Logf("BENCH_hotpath.json not written: %v", werr)
+		// BENCH_HOTPATH_OUT redirects the result file so regression checks
+		// (make bench-check) can compare a fresh run against the committed
+		// BENCH_hotpath.json without overwriting it.
+		path := os.Getenv("BENCH_HOTPATH_OUT")
+		if path == "" {
+			path = "BENCH_hotpath.json"
+		}
+		if werr := os.WriteFile(path, append(out, '\n'), 0o644); werr != nil {
+			b.Logf("%s not written: %v", path, werr)
 		}
 	}
 }

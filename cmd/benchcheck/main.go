@@ -1,0 +1,101 @@
+// Command benchcheck gates hot-path performance regressions: it compares
+// a freshly measured BENCH_hotpath.json against the committed baseline
+// and exits non-zero when any organization's batched throughput dropped
+// by more than the threshold.
+//
+// Usage (see `make bench-check`):
+//
+//	benchcheck -base BENCH_hotpath.json -new /tmp/fresh.json -threshold 0.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the subset of BENCH_hotpath.json the check reads.
+type benchFile struct {
+	Organizations []benchRow `json:"organizations"`
+}
+
+type benchRow struct {
+	Org             string  `json:"org"`
+	BatchRefsPerSec float64 `json:"batch_refs_per_sec"`
+}
+
+func main() {
+	base := flag.String("base", "BENCH_hotpath.json", "recorded baseline results")
+	fresh := flag.String("new", "", "freshly measured results to check")
+	threshold := flag.Float64("threshold", 0.10, "max allowed fractional regression per organization")
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -new is required")
+		os.Exit(2)
+	}
+	regressions, err := check(*base, *fresh, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok — no organization regressed beyond the threshold")
+}
+
+// check compares the fresh batch throughput of every baseline organization
+// and returns one message per regression beyond the threshold. Fresh
+// organizations missing from the baseline are ignored (new design points);
+// baseline organizations missing from the fresh run are reported — a
+// silently dropped row must not pass the gate.
+func check(basePath, freshPath string, threshold float64) ([]string, error) {
+	baseRows, err := load(basePath)
+	if err != nil {
+		return nil, err
+	}
+	freshRows, err := load(freshPath)
+	if err != nil {
+		return nil, err
+	}
+	var regressions []string
+	for org, b := range baseRows {
+		f, ok := freshRows[org]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in %s but missing from %s", org, basePath, freshPath))
+			continue
+		}
+		floor := b * (1 - threshold)
+		if f < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: batch %.0f refs/s < %.0f (baseline %.0f - %.0f%%)",
+				org, f, floor, b, 100*threshold))
+		}
+	}
+	return regressions, nil
+}
+
+// load reads a results file into org -> batch refs/sec.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Organizations) == 0 {
+		return nil, fmt.Errorf("%s: no organization rows", path)
+	}
+	out := make(map[string]float64, len(bf.Organizations))
+	for _, r := range bf.Organizations {
+		out[r.Org] = r.BatchRefsPerSec
+	}
+	return out, nil
+}

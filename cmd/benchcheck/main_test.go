@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeResults(t *testing.T, name string, rows string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	content := `{"organizations":[` + rows + `]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000},
+		 {"org":"hybrid-manyseg+sc","batch_refs_per_sec":500000}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":950000},
+		 {"org":"hybrid-manyseg+sc","batch_refs_per_sec":460000}`)
+	regs, err := check(base, fresh, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("want no regressions, got %v", regs)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":850000}`)
+	regs, err := check(base, fresh, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "baseline") {
+		t.Errorf("want one baseline regression, got %v", regs)
+	}
+}
+
+func TestCheckFlagsMissingOrg(t *testing.T) {
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000},
+		 {"org":"rmm","batch_refs_per_sec":800000}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000}`)
+	regs, err := check(base, fresh, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "rmm") {
+		t.Errorf("want rmm reported missing, got %v", regs)
+	}
+}
+
+func TestCheckIgnoresNewOrgs(t *testing.T) {
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000},
+		 {"org":"brand-new","batch_refs_per_sec":10}`)
+	regs, err := check(base, fresh, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("new orgs must not fail the gate, got %v", regs)
+	}
+}
+
+func TestCheckRejectsEmptyFile(t *testing.T) {
+	base := writeResults(t, "base.json", ``)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1}`)
+	if _, err := check(base, fresh, 0.10); err == nil {
+		t.Error("want error for results file with no rows")
+	}
+}

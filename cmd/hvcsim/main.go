@@ -9,15 +9,20 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"hybridvc"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/stats"
 	"hybridvc/internal/workload"
 )
 
@@ -36,6 +41,9 @@ func main() {
 	compare := flag.Bool("compare", false, "run every native organization on the workloads and rank by cycles")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	timeline := flag.String("timeline", "", "write the interval time-series to this file (.csv = CSV, else NDJSON)")
+	interval := flag.Uint64("interval", 0, "instructions per time-series interval (0 = 10000 when -timeline/-metrics-addr is set)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live expvar metrics on this address (e.g. :8080) during the run")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +85,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	observing := *timeline != "" || *metricsAddr != ""
+	if observing && *interval == 0 {
+		*interval = 10_000
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.Interval = *interval
+
 	sys, err := hybridvc.New(hybridvc.Config{
 		Org:               hybridvc.Organization(*org),
 		Cores:             *cores,
@@ -84,6 +99,7 @@ func main() {
 		DelayedTLBEntries: *dtlb,
 		IndexCacheBytes:   *ic,
 		Seed:              *seed,
+		Sim:               simCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hvcsim:", err)
@@ -95,13 +111,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	report, err := sys.Run(*insns)
+
+	var report sim.Report
+	if observing {
+		// Drive the simulator directly: the Timeline must exist before the
+		// run starts so the live metrics endpoint can read it concurrently.
+		simulator := sim.New(simCfg, sys.Mem, sys.Generators())
+		if *metricsAddr != "" {
+			serveMetrics(*metricsAddr, *org, *wls, simulator.Timeline())
+		}
+		report = simulator.Run(*insns)
+		if *timeline != "" {
+			if err := writeTimeline(*timeline, simulator.Timeline()); err != nil {
+				fmt.Fprintln(os.Stderr, "hvcsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "hvcsim: wrote %d intervals to %s\n",
+				simulator.Timeline().Len(), *timeline)
+		}
+	} else {
+		report, err = sys.Run(*insns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvcsim:", err)
+			os.Exit(1)
+		}
+	}
 	stopCPU()
 	writeMemProfile(*memprofile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hvcsim:", err)
-		os.Exit(1)
-	}
 	if *jsonOut {
 		fmt.Println(report.JSON())
 		return
@@ -117,6 +153,44 @@ func main() {
 	fmt.Println()
 	fmt.Println("\ntranslation energy breakdown:")
 	fmt.Print(sys.Mem.Energy().Breakdown())
+}
+
+// writeTimeline writes the time-series to path: CSV when the extension
+// is .csv, NDJSON otherwise.
+func writeTimeline(path string, tl *stats.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return tl.WriteCSV(f)
+	}
+	return tl.WriteNDJSON(f)
+}
+
+// serveMetrics starts an expvar HTTP endpoint publishing the run's
+// identity and the latest interval snapshot; GET /debug/vars returns all
+// published variables as one JSON object. The Timeline is mutex-guarded,
+// so reads are safe while the simulation goroutine appends.
+func serveMetrics(addr, org, wls string, tl *stats.Timeline) {
+	expvar.NewString("hvcsim.org").Set(org)
+	expvar.NewString("hvcsim.workloads").Set(wls)
+	expvar.Publish("hvcsim.intervals", expvar.Func(func() any { return tl.Len() }))
+	expvar.Publish("hvcsim.latest", expvar.Func(func() any {
+		iv, ok := tl.Latest()
+		if !ok {
+			return nil
+		}
+		return iv
+	}))
+	go func() {
+		// expvar self-registers on the default mux at /debug/vars.
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "hvcsim: metrics:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "hvcsim: live metrics at http://%s/debug/vars\n", addr)
 }
 
 // knownOrg reports whether name is a selectable organization.

@@ -6,6 +6,7 @@
 //
 //	hvctrace -capture gups -insns 1000000 -out gups.hvct
 //	hvctrace -info gups.hvct
+//	hvctrace -dump 20 gups.hvct
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	out := flag.String("out", "trace.hvct", "output trace path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	info := flag.String("info", "", "trace file to summarize")
+	dump := flag.Int("dump", 0, "print the first n decoded records of the trace file argument")
 	flag.Parse()
 
 	switch {
@@ -35,6 +37,15 @@ func main() {
 		}
 	case *info != "":
 		if err := doInfo(*info); err != nil {
+			fmt.Fprintln(os.Stderr, "hvctrace:", err)
+			os.Exit(1)
+		}
+	case *dump > 0:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "hvctrace: -dump needs one trace file argument")
+			os.Exit(2)
+		}
+		if err := doDump(flag.Arg(0), *dump, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "hvctrace:", err)
 			os.Exit(1)
 		}
@@ -113,6 +124,48 @@ func doInfo(path string) error {
 	fmt.Printf("  shared refs:    %d (%.1f%% of refs)\n", shared, pct(shared, mem))
 	fmt.Printf("  mispredicts:    %d (%.2f%%)\n", mispredicts, pct(mispredicts, n))
 	fmt.Printf("  page footprint: %d pages (%.1f MiB)\n", len(pages), float64(len(pages))*4/1024)
+	return nil
+}
+
+// doDump prints the first n decoded records of the trace at path,
+// one human-readable line per instruction.
+func doDump(path string, n int, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	for i := 0; i < n; i++ {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		kind := "alu  "
+		switch {
+		case in.IsStore:
+			kind = "store"
+		case in.IsMem:
+			kind = "load "
+		}
+		fmt.Fprintf(w, "%6d  %s", i, kind)
+		if in.IsMem {
+			fmt.Fprintf(w, "  va=0x%012x", uint64(in.VA))
+		}
+		if in.DependsOnPrev {
+			fmt.Fprint(w, "  dep")
+		}
+		if in.Shared {
+			fmt.Fprint(w, "  shared")
+		}
+		if in.Mispredict {
+			fmt.Fprint(w, "  mispredict")
+		}
+		fmt.Fprintln(w)
+	}
 	return nil
 }
 

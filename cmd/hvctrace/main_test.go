@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDumpGolden decodes the captured golden trace and compares the
+// human-readable dump byte-for-byte against the committed expectation.
+func TestDumpGolden(t *testing.T) {
+	tracePath := filepath.Join("testdata", "golden.hvct")
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_dump16.txt"))
+	if err != nil {
+		t.Fatalf("read golden dump: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := doDump(tracePath, 16, &buf); err != nil {
+		t.Fatalf("doDump: %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("dump mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 16 {
+		t.Errorf("dump printed %d lines, want 16", lines)
+	}
+}
+
+// TestDumpPastEOF asks for more records than the trace holds; the dump
+// must stop cleanly at EOF.
+func TestDumpPastEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := doDump(filepath.Join("testdata", "golden.hvct"), 10_000, &buf); err != nil {
+		t.Fatalf("doDump: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 64 {
+		t.Errorf("dump printed %d lines, want the trace's 64", lines)
+	}
+}

@@ -137,4 +137,24 @@ func TestAccessBatchSteadyStateAllocs(t *testing.T) {
 			t.Fatalf("steady-state access %d not an L1 hit: %+v", i, res[i])
 		}
 	}
+
+	// The probe layer must not break the guarantee in either state:
+	// detached (the default — emission sites are bare nil-checks) or with
+	// the counting probe attached (events pass by value, counters are
+	// scalar fields).
+	t.Run("counting-probe-attached", func(t *testing.T) {
+		cp := &core.CountingProbe{}
+		sys.Mem.SetProbe(cp)
+		defer sys.Mem.SetProbe(nil)
+		sys.Mem.AccessBatch(reqs, res)
+		avg := testing.AllocsPerRun(50, func() {
+			sys.Mem.AccessBatch(reqs, res)
+		})
+		if avg != 0 {
+			t.Errorf("AccessBatch with CountingProbe allocates %.2f times per call, want 0", avg)
+		}
+		if cp.RouteTotal == 0 || cp.CacheAccesses == 0 {
+			t.Error("counting probe saw no events while attached")
+		}
+	})
 }

@@ -84,10 +84,20 @@ func (c *Conventional) translate(req *core.Request) (addr.PA, addr.Perm, uint64,
 	// The 2 MiB TLB is probed in parallel with the 4 KiB L1 TLB.
 	if e, ok := c.hugeTLBs[req.Core].Lookup(req.Proc.ASID, req.VA.HugePage()); ok {
 		c.HugeTLBHits.Inc()
+		if p := c.Probe(); p != nil {
+			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBHuge, Hit: true})
+		}
 		off := uint64(req.VA) & (addr.HugePageSize - 1)
 		return addr.FrameToPA(e.PFN) + addr.PA(off), e.Perm, 0, true
 	}
 	tres := tl.Lookup(req.Proc.ASID, req.VA.Page())
+	if p := c.Probe(); p != nil {
+		p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBHuge, Hit: false})
+		p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL1, Hit: tres.Level == 1})
+		if tres.Level != 1 {
+			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL2, Hit: tres.Level == 2})
+		}
+	}
 	var lat uint64
 	switch tres.Level {
 	case 1:
@@ -349,13 +359,23 @@ func (r *RMM) Route(req *core.Request, res *core.Result) pipeline.Decision {
 
 	r.Acc.Access(energy.L1TLB, 1)
 	if e, ok := r.l1tlbs[req.Core].Lookup(req.Proc.ASID, req.VA.Page()); ok {
+		if p := r.Probe(); p != nil {
+			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL1, Hit: true})
+		}
 		pa = addr.FrameToPA(e.PFN) + addr.PA(req.VA.PageOffset())
 		perm = e.Perm
 	} else {
+		if p := r.Probe(); p != nil {
+			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL1, Hit: false})
+		}
 		// Range TLB at the L2 TLB position: 7 cycles on the critical path.
 		r.Acc.Access(energy.SegmentTable, 1)
 		res.Latency += 7
-		if seg, ok := r.ranges[req.Core].Lookup(req.Proc.ASID, req.VA); ok {
+		rseg, rok := r.ranges[req.Core].Lookup(req.Proc.ASID, req.VA)
+		if p := r.Probe(); p != nil {
+			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBRange, Hit: rok})
+		}
+		if seg, ok := rseg, rok; ok {
 			pa = seg.Translate(req.VA)
 			perm = seg.Perm
 		} else {

@@ -66,6 +66,12 @@ func (o *OVC) l1For(kind cache.AccessKind) *cache.Cache {
 func (o *OVC) translate(req *core.Request) (addr.PA, addr.Perm, uint64, bool) {
 	o.Acc.Access(energy.L1TLB, 1)
 	tres := o.tlb.Lookup(req.Proc.ASID, req.VA.Page())
+	if p := o.Probe(); p != nil {
+		p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL1, Hit: tres.Level == 1})
+		if tres.Level != 1 {
+			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL2, Hit: tres.Level == 2})
+		}
+	}
 	var lat uint64
 	if tres.Level == 0 {
 		o.Acc.Access(energy.L2TLB, 1)
@@ -99,6 +105,9 @@ func (o *OVC) timedWalk(proc *osmodel.Process, va addr.VA) (core.WalkLeaf, uint6
 		o.WalkSteps.Inc()
 		slat, _, _ := o.physL2Access(cache.Read, slot, addr.PermRO)
 		lat += slat
+	}
+	if p := o.Probe(); p != nil {
+		p.Walk(pipeline.WalkEvent{Steps: len(path), OK: found})
 	}
 	if !found {
 		return core.WalkLeaf{}, lat, false
@@ -158,7 +167,11 @@ func (o *OVC) backInvalidate(n addr.Name) {
 // virtual L1 with no up-front translation at all; synonym candidates
 // translate first and run the physical L1.
 func (o *OVC) Route(req *core.Request, res *core.Result) pipeline.Decision {
-	if !req.Proc.Filter.IsCandidate(req.VA) {
+	candidate := req.Proc.Filter.IsCandidate(req.VA)
+	if p := o.Probe(); p != nil {
+		p.Filter(pipeline.FilterEvent{Core: req.Core, Candidate: candidate})
+	}
+	if !candidate {
 		return pipeline.GoVirtual(0)
 	}
 	// Synonym candidate: conventional path, physical L1.

@@ -111,8 +111,8 @@ func TestConsolidatedDelayedTranslationIsPerVM(t *testing.T) {
 	pB, _ := vmB.Kernel.NewProcess()
 	gvaA, _ := pA.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
 	gvaB, _ := pB.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
-	maA, _, okA := m.delayed2D(pA, gvaA+0x40)
-	maB, _, okB := m.delayed2D(pB, gvaB+0x40)
+	maA, _, okA := m.delayed2D(0, pA, gvaA+0x40, false)
+	maB, _, okB := m.delayed2D(0, pB, gvaB+0x40, false)
 	if !okA || !okB {
 		t.Fatal("delayed translation failed")
 	}

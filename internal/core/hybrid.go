@@ -264,6 +264,9 @@ func (m *HybridMMU) Route(req *Request, res *Result) pipeline.Decision {
 	if !m.cfg.FilterBypass {
 		m.Acc.Access(energy.SynonymFilter, 1)
 		candidate = req.Proc.Filter.IsCandidate(req.VA)
+		if p := m.Probe(); p != nil {
+			p.Filter(pipeline.FilterEvent{Core: req.Core, Candidate: candidate})
+		}
 		if m.cfg.FPRebuildThreshold > 0 {
 			m.stepRebuildPolicy(req.Proc)
 		}
@@ -283,6 +286,9 @@ func (m *HybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decision {
 	res.Latency += st.Config().Latency
 
 	e, hit := st.Lookup(req.Proc.ASID, req.VA.Page())
+	if p := m.Probe(); p != nil {
+		p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBSynonym, Hit: hit})
+	}
 	if !hit {
 		leaf, lat, ok := m.TimedWalk(req.Core, req.Proc, req.VA.PageAligned())
 		res.Latency += lat
@@ -311,6 +317,9 @@ func (m *HybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decision {
 		// Filter false positive: the TLB entry corrects it; proceed with
 		// ASID+VA (the L1 block accessed with ASID+VA is used).
 		m.FalsePositives.Inc()
+		if p := m.Probe(); p != nil {
+			p.FalsePositive(pipeline.FalsePositiveEvent{Core: req.Core, VA: req.VA})
+		}
 		if w := m.fpWindow[req.Proc.ASID]; w != nil {
 			w.fps++
 		}
@@ -373,12 +382,12 @@ func (m *HybridMMU) Finish(req *Request, res *Result, hres *cache.AccessResult) 
 		// lookup; the hit makes its result unnecessary, but the energy
 		// (and structure state) is spent.
 		m.DelayedTranslations.Inc()
-		m.delayedTranslate(req.Core, req.Proc, req.VA)
+		m.delayedTranslate(req.Core, req.Proc, req.VA, false)
 	}
 	if hres.LLCMiss {
 		res.LLCMiss = true
 		m.DelayedTranslations.Inc()
-		pa, lat, ok := m.delayedTranslate(req.Core, req.Proc, req.VA)
+		pa, lat, ok := m.delayedTranslate(req.Core, req.Proc, req.VA, false)
 		if m.cfg.ParallelDelayed {
 			// The walk overlapped the LLC lookup; only the excess shows.
 			if llcLat := m.Hier.Config().LLC.HitLatency; lat > llcLat {
@@ -403,7 +412,7 @@ func (m *HybridMMU) Finish(req *Request, res *Result, hres *cache.AccessResult) 
 	for _, wb := range hres.Writebacks {
 		if !wb.Synonym {
 			m.WritebackXlations.Inc()
-			m.delayedTranslate(req.Core, m.procFor(wb.ASID, req.Proc), addr.VA(wb.Addr))
+			m.delayedTranslate(req.Core, m.procFor(wb.ASID, req.Proc), addr.VA(wb.Addr), true)
 		}
 	}
 }
@@ -438,8 +447,9 @@ func (m *HybridMMU) procFor(asid addr.ASID, fallback *osmodel.Process) *osmodel.
 }
 
 // delayedTranslate resolves a non-synonym ASID+VA to a PA after an LLC
-// miss, via the configured mechanism.
-func (m *HybridMMU) delayedTranslate(core int, proc *osmodel.Process, va addr.VA) (addr.PA, uint64, bool) {
+// miss, via the configured mechanism. wb marks writeback translations
+// (dirty evicted lines) as opposed to demand misses.
+func (m *HybridMMU) delayedTranslate(core int, proc *osmodel.Process, va addr.VA, wb bool) (addr.PA, uint64, bool) {
 	switch m.cfg.Delayed {
 	case DelayedSegments:
 		if m.cfg.WithSegmentCache {
@@ -455,6 +465,10 @@ func (m *HybridMMU) delayedTranslate(core int, proc *osmodel.Process, va addr.VA
 			m.Acc.Access(energy.IndexCache, uint64(tres.ICProbes))
 			m.Acc.Access(energy.SegmentTable, 1)
 		}
+		if p := m.Probe(); p != nil {
+			p.Delayed(pipeline.DelayedEvent{Core: core, Writeback: wb,
+				SCHit: tres.SCHit, Depth: tres.ICProbes, Fault: tres.Fault})
+		}
 		if tres.Fault {
 			return 0, tres.Latency, false
 		}
@@ -463,11 +477,23 @@ func (m *HybridMMU) delayedTranslate(core int, proc *osmodel.Process, va addr.VA
 		m.Acc.Access(energy.DelayedTLB, 1)
 		lat := m.delayedTLB.Config().Latency
 		if e, ok := m.delayedTLB.Lookup(proc.ASID, va.Page()); ok {
+			if p := m.Probe(); p != nil {
+				p.TLB(pipeline.TLBEvent{Core: core, Level: pipeline.TLBDelayed, Hit: true})
+				p.Delayed(pipeline.DelayedEvent{Core: core, Writeback: wb})
+			}
 			return addr.FrameToPA(e.PFN) + addr.PA(va.PageOffset()), lat, true
 		}
 		m.DelayedTLBMisses.Inc()
+		if p := m.Probe(); p != nil {
+			p.TLB(pipeline.TLBEvent{Core: core, Level: pipeline.TLBDelayed, Hit: false})
+		}
+		steps := m.WalkSteps.Value()
 		leaf, wlat, ok := m.TimedWalk(core, proc, va.PageAligned())
 		lat += wlat
+		if p := m.Probe(); p != nil {
+			p.Delayed(pipeline.DelayedEvent{Core: core, Writeback: wb,
+				Depth: int(m.WalkSteps.Value() - steps), Fault: !ok})
+		}
 		if !ok {
 			return 0, lat, false
 		}

@@ -35,6 +35,12 @@ type Base = pipeline.Base
 // WalkLeaf is the result of a page walk.
 type WalkLeaf = pipeline.WalkLeaf
 
+// Probe receives typed pipeline events (see internal/pipeline).
+type Probe = pipeline.Probe
+
+// CountingProbe tallies every pipeline event kind, allocation-free.
+type CountingProbe = pipeline.CountingProbe
+
 // FaultLatency is the cycles charged for an OS fault handler invocation
 // (demand paging, CoW break, cold segment fill).
 const FaultLatency = pipeline.FaultLatency
@@ -57,6 +63,12 @@ type MemSystem interface {
 	Energy() *energy.Accumulator
 	// Hierarchy exposes the cache hierarchy for statistics.
 	Hierarchy() *cache.Hierarchy
+	// Probe returns the attached event probe (nil: observability off).
+	Probe() Probe
+	// SetProbe attaches (nil: detaches) the event probe. With no probe
+	// the hot path pays one nil-check per emission site and stays
+	// allocation-free.
+	SetProbe(p Probe)
 	// Name identifies the organization in reports.
 	Name() string
 }

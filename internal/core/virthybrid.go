@@ -265,13 +265,20 @@ func (m *VirtHybridMMU) timed2DWalk(core int, proc *osmodel.Process, gva addr.VA
 		l, _ := m.PhysAccess(core, cache.Read, ma, addr.PermRO)
 		lat += l
 	}
+	if p := m.Probe(); p != nil {
+		p.Walk(pipeline.WalkEvent{Core: core, Steps: len(res.Path), OK: res.OK})
+	}
 	return res, lat
 }
 
 // Route implements pipeline.FrontEnd: Figure 1 extended with Section V.
 func (m *VirtHybridMMU) Route(req *Request, res *Result) pipeline.Decision {
 	m.Acc.Access(energy.SynonymFilter, 2) // both guest and host filters
-	if m.pair(req.Proc).IsCandidate(req.VA) {
+	candidate := m.pair(req.Proc).IsCandidate(req.VA)
+	if p := m.Probe(); p != nil {
+		p.Filter(pipeline.FilterEvent{Core: req.Core, Candidate: candidate})
+	}
+	if candidate {
 		m.SynonymCandidates.Inc()
 		return m.routeSynonym(req, res)
 	}
@@ -286,6 +293,9 @@ func (m *VirtHybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decisio
 	res.Latency += st.Config().Latency
 
 	e, hit := st.Lookup(req.Proc.ASID, req.VA.Page())
+	if p := m.Probe(); p != nil {
+		p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBSynonym, Hit: hit})
+	}
 	if !hit {
 		wres, lat := m.timed2DWalk(req.Core, req.Proc, req.VA.PageAligned())
 		res.Latency += lat
@@ -312,6 +322,9 @@ func (m *VirtHybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decisio
 	}
 	if e.NonSynonym {
 		m.FalsePositives.Inc()
+		if p := m.Probe(); p != nil {
+			p.FalsePositive(pipeline.FalsePositiveEvent{Core: req.Core, VA: req.VA})
+		}
 		return m.routeVirtual(req, res)
 	}
 	m.TrueSynonymAccesses.Inc()
@@ -363,7 +376,7 @@ func (m *VirtHybridMMU) Finish(req *Request, res *Result, hres *cache.AccessResu
 	if hres.LLCMiss {
 		res.LLCMiss = true
 		m.DelayedTranslations.Inc()
-		ma, lat, ok := m.delayed2D(req.Proc, req.VA)
+		ma, lat, ok := m.delayed2D(req.Core, req.Proc, req.VA, false)
 		res.Latency += lat
 		if !ok {
 			fl, _ := m.HandleFault(req.Proc, req.VA, req.Kind == cache.Write)
@@ -376,20 +389,23 @@ func (m *VirtHybridMMU) Finish(req *Request, res *Result, hres *cache.AccessResu
 	for _, wb := range hres.Writebacks {
 		if !wb.Synonym {
 			if p := m.vmOf(wb.ASID).Kernel.Process(wb.ASID); p != nil {
-				m.delayed2D(p, addr.VA(wb.Addr))
+				m.delayed2D(req.Core, p, addr.VA(wb.Addr), true)
 			}
 		}
 	}
 }
 
 // delayed2D translates gVA -> MA after an LLC miss: SC first, then the
-// guest and host segment walks.
-func (m *VirtHybridMMU) delayed2D(proc *osmodel.Process, gva addr.VA) (addr.PA, uint64, bool) {
+// guest and host segment walks. wb marks writeback translations.
+func (m *VirtHybridMMU) delayed2D(core int, proc *osmodel.Process, gva addr.VA, wb bool) (addr.PA, uint64, bool) {
 	var lat uint64
 	if m.sc != nil {
 		m.Acc.Access(energy.SegmentCache, 1)
 		lat += 2
 		if ma, _, ok := m.sc.Lookup(proc.ASID, gva); ok {
+			if p := m.Probe(); p != nil {
+				p.Delayed(pipeline.DelayedEvent{Core: core, Writeback: wb, SCHit: true})
+			}
 			return ma, lat, true
 		}
 	}
@@ -400,6 +416,10 @@ func (m *VirtHybridMMU) delayed2D(proc *osmodel.Process, gva addr.VA) (addr.PA, 
 	m.Acc.Access(energy.SegmentTable, 1)
 	lat += g.Latency
 	if g.Fault {
+		if p := m.Probe(); p != nil {
+			p.Delayed(pipeline.DelayedEvent{Core: core, Writeback: wb,
+				Depth: g.ICProbes, Fault: true})
+		}
 		return 0, lat, false
 	}
 	gpa := addr.GPA(g.PA)
@@ -408,6 +428,10 @@ func (m *VirtHybridMMU) delayed2D(proc *osmodel.Process, gva addr.VA) (addr.PA, 
 	m.Acc.Access(energy.IndexCache, uint64(h.ICProbes))
 	m.Acc.Access(energy.SegmentTable, 1)
 	lat += h.Latency
+	if p := m.Probe(); p != nil {
+		p.Delayed(pipeline.DelayedEvent{Core: core, Writeback: wb,
+			Depth: g.ICProbes + h.ICProbes, Fault: h.Fault})
+	}
 	if h.Fault {
 		return 0, lat, false
 	}

@@ -53,7 +53,7 @@ func TestVirtNonSynonymCachedByGVA(t *testing.T) {
 func TestVirtDelayedTranslationComposition(t *testing.T) {
 	m, _, vm, p := setupVirt(t, false)
 	gva, _ := p.Mmap(1<<20, addr.PermRW, osmodel.MmapOpts{})
-	ma, lat, ok := m.delayed2D(p, gva+0x123)
+	ma, lat, ok := m.delayed2D(0, p, gva+0x123, false)
 	if !ok {
 		t.Fatal("delayed 2D translation failed")
 	}
@@ -74,11 +74,11 @@ func TestVirtDelayedTranslationComposition(t *testing.T) {
 func TestVirtSegmentCacheSkipsTwoStep(t *testing.T) {
 	m, _, _, p := setupVirt(t, true)
 	gva, _ := p.Mmap(8<<20, addr.PermRW, osmodel.MmapOpts{})
-	_, lat1, ok := m.delayed2D(p, gva)
+	_, lat1, ok := m.delayed2D(0, p, gva, false)
 	if !ok {
 		t.Fatal("first translation failed")
 	}
-	ma2, lat2, ok := m.delayed2D(p, gva+0x40)
+	ma2, lat2, ok := m.delayed2D(0, p, gva+0x40, false)
 	if !ok {
 		t.Fatal("second translation failed")
 	}

@@ -128,6 +128,27 @@ func (a *Accumulator) Access(c Component, n uint64) {
 	a.Present[c] = true
 }
 
+// Snapshot captures the accumulator's access counts at a point in time,
+// so interval collectors can compute energy deltas.
+type Snapshot struct {
+	Accesses [numComponents]uint64
+}
+
+// Snapshot freezes the current access counts.
+func (a *Accumulator) Snapshot() Snapshot {
+	return Snapshot{Accesses: a.Accesses}
+}
+
+// DynamicSince returns the dynamic energy (pJ) spent since the snapshot
+// was taken.
+func (a *Accumulator) DynamicSince(s Snapshot) float64 {
+	var e float64
+	for c := 0; c < int(numComponents); c++ {
+		e += float64(a.Accesses[c]-s.Accesses[c]) * a.model.PerAccess[c]
+	}
+	return e
+}
+
 // Dynamic returns total dynamic energy in pJ.
 func (a *Accumulator) Dynamic() float64 {
 	var e float64

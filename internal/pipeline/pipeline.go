@@ -69,6 +69,10 @@ type Base struct {
 	// WalkSteps counts PTE fetches issued by timed page walks.
 	WalkSteps stats.Counter
 
+	// probe receives typed pipeline events; nil (the default) disables
+	// observability at the cost of one nil-check per emission site.
+	probe Probe
+
 	// scratchMode routes hierarchy accesses through the allocation-free
 	// scratch variants. The Engine sets it for the duration of an
 	// AccessBatch; results are identical either way.
@@ -94,6 +98,17 @@ func (b *Base) BaseState() *Base { return b }
 // stages can pick allocation-free variants of their structures (e.g. the
 // segment translator's reusable walk path).
 func (b *Base) ScratchMode() bool { return b.scratchMode }
+
+// Probe returns the attached probe, or nil when observability is off.
+// Stages guard every emission with this nil-check, which is the entire
+// cost of the probe layer when disabled.
+func (b *Base) Probe() Probe { return b.probe }
+
+// SetProbe attaches (or, with nil, detaches) the event probe. The probe
+// is shared by every stage running over this substrate — organizations
+// composing several engines on one Base (direct segments) observe one
+// coherent event stream.
+func (b *Base) SetProbe(p Probe) { b.probe = p }
 
 // hierAccess routes one hierarchy access through the plain or scratch
 // variant by mode. Scratch results alias a hierarchy-owned writeback
@@ -128,6 +143,9 @@ func (b *Base) TimedWalk(core int, proc *osmodel.Process, va addr.VA) (pte WalkL
 		b.WalkSteps.Inc()
 		lat, _ := b.PhysAccess(core, cache.Read, slot, addr.PermRO)
 		latency += lat
+	}
+	if p := b.probe; p != nil {
+		p.Walk(WalkEvent{Core: core, Steps: len(path), OK: found})
 	}
 	if !found {
 		return WalkLeaf{}, latency, false
@@ -171,5 +189,8 @@ func (l WalkLeaf) FrameFor4K(va addr.VA) uint64 {
 func (b *Base) HandleFault(proc *osmodel.Process, va addr.VA, isWrite bool) (uint64, bool) {
 	b.Faults.Inc()
 	ok := proc.HandleFault(va, isWrite)
+	if p := b.probe; p != nil {
+		p.Fault(FaultEvent{Write: isWrite, Fixed: ok})
+	}
 	return FaultLatency, ok
 }

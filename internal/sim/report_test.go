@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestReportJSONRoundTrip fills every Report field with a distinct
+// non-zero value, decodes the JSON back, and requires an exact match —
+// so a field added without a json tag (or dropped from marshaling) fails
+// here instead of silently vanishing from tool output.
+func TestReportJSONRoundTrip(t *testing.T) {
+	want := Report{
+		Name:                "test-org",
+		Cycles:              12345,
+		Instructions:        67890,
+		IPC:                 1.5,
+		PerCoreIPC:          []float64{1.25, 1.75},
+		TranslationEnergyPJ: 9876.5,
+		DynamicEnergyPJ:     5432.1,
+		LLCMissRate:         0.125,
+		MemStallFraction:    0.25,
+	}
+
+	// Every field must actually carry a non-zero value, or the round trip
+	// proves nothing for it. Reflection keeps this in sync with the struct.
+	rv := reflect.ValueOf(want)
+	for i := 0; i < rv.NumField(); i++ {
+		if rv.Field(i).IsZero() {
+			t.Fatalf("test fixture leaves field %s zero; set it", rv.Type().Field(i).Name)
+		}
+		if tag := rv.Type().Field(i).Tag.Get("json"); tag == "" || tag == "-" {
+			t.Errorf("field %s has no json tag", rv.Type().Field(i).Name)
+		}
+	}
+
+	var got Report
+	if err := json.Unmarshal([]byte(want.JSON()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReportJSONSanitizesNonFinite pins the by-construction guarantee:
+// NaN and ±Inf floats — which json.Marshal rejects — are mapped to 0, so
+// JSON cannot fail (the old code silently returned "{}" on that path).
+func TestReportJSONSanitizesNonFinite(t *testing.T) {
+	r := Report{
+		Name:                "degenerate",
+		IPC:                 math.NaN(),
+		PerCoreIPC:          []float64{math.Inf(1), 2.0, math.NaN()},
+		TranslationEnergyPJ: math.Inf(1),
+		DynamicEnergyPJ:     math.Inf(-1),
+		LLCMissRate:         math.NaN(),
+		MemStallFraction:    math.NaN(),
+	}
+	out := r.JSON()
+	if out == "{}" {
+		t.Fatal("JSON returned the old empty-object failure sentinel")
+	}
+	var got Report
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if got.IPC != 0 || got.TranslationEnergyPJ != 0 || got.LLCMissRate != 0 {
+		t.Errorf("non-finite floats not zeroed: %+v", got)
+	}
+	if want := []float64{0, 2.0, 0}; !reflect.DeepEqual(got.PerCoreIPC, want) {
+		t.Errorf("PerCoreIPC = %v, want %v", got.PerCoreIPC, want)
+	}
+	// Sanitizing must not mutate the caller's slice.
+	if !math.IsInf(r.PerCoreIPC[0], 1) {
+		t.Error("JSON mutated the receiver's PerCoreIPC slice")
+	}
+}

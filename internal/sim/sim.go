@@ -8,11 +8,14 @@ package sim
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"hybridvc/internal/addr"
 	"hybridvc/internal/cache"
 	"hybridvc/internal/core"
 	"hybridvc/internal/cpu"
+	"hybridvc/internal/energy"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/workload"
 )
@@ -30,6 +33,11 @@ type Config struct {
 	// Interleave is the per-core chunk size of the round-robin
 	// interleaving between cores.
 	Interleave int
+	// Interval enables the time-series collector: one stats.Interval is
+	// recorded every Interval retired instructions (summed over cores).
+	// 0 (the default) disables collection; the run then attaches no probe
+	// and the hot path stays allocation-free.
+	Interval uint64
 }
 
 // DefaultConfig returns the standard run configuration.
@@ -70,6 +78,36 @@ type Simulator struct {
 	ContextSwitches stats.Counter
 	// Retired counts instructions per core.
 	Retired []uint64
+
+	// Interval time-series state (cfg.Interval > 0 only). The collector
+	// probe is attached for the duration of Run and detached afterwards,
+	// restoring whatever probe the caller had installed.
+	collector    *intervalCollector
+	timeline     *stats.Timeline
+	prevCounts   core.CountingProbe
+	prevEnergy   energy.Snapshot
+	prevCycles   uint64
+	prevInsns    uint64
+	nextBoundary uint64
+	intervalIdx  int
+}
+
+// intervalCollector counts pipeline events for the current window and
+// accumulates the walk-depth distribution (page-walk steps and delayed
+// index-tree probe depths share one histogram).
+type intervalCollector struct {
+	core.CountingProbe
+	depth *stats.Histogram
+}
+
+func (c *intervalCollector) Walk(ev pipeline.WalkEvent) {
+	c.CountingProbe.Walk(ev)
+	c.depth.Observe(uint64(ev.Steps))
+}
+
+func (c *intervalCollector) Delayed(ev pipeline.DelayedEvent) {
+	c.CountingProbe.Delayed(ev)
+	c.depth.Observe(uint64(ev.Depth))
 }
 
 // stepPlan records the decode of one planned instruction so the replay
@@ -116,7 +154,98 @@ func New(cfg Config, ms core.MemSystem, gens []*workload.Generator) *Simulator {
 		s.sliceLeft[i] = cfg.Timeslice
 	}
 	s.l1iHitLat = ms.Hierarchy().Config().L1I.HitLatency
+	if cfg.Interval > 0 {
+		s.collector = &intervalCollector{
+			depth: stats.NewHistogram(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+		}
+		s.timeline = &stats.Timeline{}
+		s.nextBoundary = cfg.Interval
+	}
 	return s
+}
+
+// Timeline returns the interval time-series, or nil when cfg.Interval is
+// 0. It is safe to read concurrently with Run (live metrics endpoints).
+func (s *Simulator) Timeline() *stats.Timeline { return s.timeline }
+
+// totalRetired sums retired instructions over cores.
+func (s *Simulator) totalRetired() uint64 {
+	var n uint64
+	for _, r := range s.Retired {
+		n += r
+	}
+	return n
+}
+
+// maxCycles returns the slowest active core's cycle count — the same
+// quantity Report.Cycles reports, so interval cycle deltas telescope to
+// the final report exactly.
+func (s *Simulator) maxCycles() uint64 {
+	var m uint64
+	for c, cc := range s.cores {
+		if len(s.perCore[c]) == 0 {
+			continue
+		}
+		if cc.Cycles() > m {
+			m = cc.Cycles()
+		}
+	}
+	return m
+}
+
+// flushInterval closes the current window: every Interval field is the
+// delta since the previous flush, so per-field sums over all intervals
+// reproduce the end-of-run totals.
+func (s *Simulator) flushInterval() {
+	cur := s.collector.CountingProbe
+	prev := s.prevCounts
+	insns := s.totalRetired()
+	cycles := s.maxCycles()
+
+	iv := stats.Interval{
+		Index:      s.intervalIdx,
+		StartInsns: s.prevInsns,
+		EndInsns:   insns,
+		Insns:      insns - s.prevInsns,
+		Cycles:     cycles - s.prevCycles,
+
+		Refs:      cur.RouteTotal - prev.RouteTotal,
+		LLCMisses: cur.LLCMisses - prev.LLCMisses,
+
+		FilterProbes:   cur.FilterProbes - prev.FilterProbes,
+		Candidates:     cur.FilterCandidates - prev.FilterCandidates,
+		FalsePositives: cur.FalsePositives - prev.FalsePositives,
+
+		Faults:  cur.Faults - prev.Faults,
+		Retries: cur.Retries - prev.Retries,
+
+		DelayedTranslations:   cur.DelayedDemand - prev.DelayedDemand,
+		WritebackTranslations: cur.DelayedWritebacks - prev.DelayedWritebacks,
+
+		DynamicEnergyPJ: s.memsys.Energy().DynamicSince(s.prevEnergy),
+		WalkDepth:       s.collector.depth.Snapshot(),
+	}
+	for l := range iv.HitLevels {
+		iv.HitLevels[l] = cur.CacheHitLevel[l] - prev.CacheHitLevel[l]
+	}
+	if iv.Cycles > 0 {
+		iv.IPC = float64(iv.Insns) / float64(iv.Cycles)
+	}
+	refs := cur.CacheAccesses - prev.CacheAccesses
+	l1miss := refs - iv.HitLevels[1]
+	l2miss := l1miss - iv.HitLevels[2]
+	iv.L1MPKI = stats.PerKilo(l1miss, iv.Insns)
+	iv.L2MPKI = stats.PerKilo(l2miss, iv.Insns)
+	iv.LLCMPKI = stats.PerKilo(iv.LLCMisses, iv.Insns)
+	iv.FPRate = stats.Ratio(iv.FalsePositives, iv.Candidates)
+
+	s.timeline.Append(iv)
+	s.intervalIdx++
+	s.prevCounts = cur
+	s.prevEnergy = s.memsys.Energy().Snapshot()
+	s.prevCycles = cycles
+	s.prevInsns = insns
+	s.collector.depth.Reset()
 }
 
 // runChunk advances core c by n instructions through the batched access
@@ -214,8 +343,17 @@ func (s *Simulator) runChunk(c int, n uint64) {
 }
 
 // Run executes n instructions per core, interleaving cores in chunks so
-// they share the memory system roughly in lockstep.
+// they share the memory system roughly in lockstep. With cfg.Interval
+// set, the collector probe rides along (tee'd with any probe the caller
+// installed) and one stats.Interval is flushed each time total retired
+// instructions cross an interval boundary, plus a final partial interval;
+// the caller's probe is restored before Run returns.
 func (s *Simulator) Run(n uint64) Report {
+	var callerProbe core.Probe
+	if s.collector != nil {
+		callerProbe = s.memsys.Probe()
+		s.memsys.SetProbe(pipeline.Tee(callerProbe, s.collector))
+	}
 	done := make([]uint64, len(s.cores))
 	for {
 		progressed := false
@@ -233,9 +371,21 @@ func (s *Simulator) Run(n uint64) Report {
 				progressed = true
 			}
 		}
+		if s.collector != nil {
+			for s.totalRetired() >= s.nextBoundary {
+				s.flushInterval()
+				s.nextBoundary += s.cfg.Interval
+			}
+		}
 		if !progressed {
 			break
 		}
+	}
+	if s.collector != nil {
+		if s.totalRetired() > s.prevInsns {
+			s.flushInterval()
+		}
+		s.memsys.SetProbe(callerProbe)
 	}
 	return s.Report()
 }
@@ -262,11 +412,33 @@ type Report struct {
 	MemStallFraction float64 `json:"mem_stall_fraction"`
 }
 
-// JSON renders the report as a JSON object.
+// finite maps the IEEE values encoding/json rejects (NaN, ±Inf) to 0 so
+// a Report is marshalable by construction.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// JSON renders the report as a JSON object. It cannot fail: Report holds
+// only strings, integers and floats, and every float is sanitized to a
+// finite value first (json.Marshal rejects NaN/Inf, nothing else here).
 func (r Report) JSON() string {
+	r.IPC = finite(r.IPC)
+	r.TranslationEnergyPJ = finite(r.TranslationEnergyPJ)
+	r.DynamicEnergyPJ = finite(r.DynamicEnergyPJ)
+	r.LLCMissRate = finite(r.LLCMissRate)
+	r.MemStallFraction = finite(r.MemStallFraction)
+	ipcs := make([]float64, len(r.PerCoreIPC))
+	for i, v := range r.PerCoreIPC {
+		ipcs[i] = finite(v)
+	}
+	r.PerCoreIPC = ipcs
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
-		return "{}" // Report contains no unmarshalable fields
+		// Unreachable: every field type marshals and every float is finite.
+		panic(fmt.Sprintf("sim: Report.JSON: %v", err))
 	}
 	return string(b)
 }

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -167,6 +168,89 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		}
 	}
 	return h.max
+}
+
+// HistogramSnapshot is a Histogram frozen for serialization: bucket
+// bounds and counts plus the summary statistics experiments report.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive per-bucket upper bounds; Counts has one
+	// extra final element for the overflow bucket.
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total"`
+	Mean   float64  `json:"mean"`
+	Max    uint64   `json:"max"`
+	P50    uint64   `json:"p50"`
+	P90    uint64   `json:"p90"`
+	P99    uint64   `json:"p99"`
+}
+
+// Snapshot freezes the histogram's current state. The returned slices
+// are copies; the histogram may keep observing.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Total:  h.total,
+		Mean:   h.Mean(),
+		Max:    h.max,
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+	}
+}
+
+// MarshalJSON serializes the histogram as its snapshot.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.Snapshot())
+}
+
+// CSVHeader returns the column names WriteCSVRow emits: one "le_<bound>"
+// column per bucket, "overflow", then the summary columns.
+func (s HistogramSnapshot) CSVHeader() []string {
+	cols := make([]string, 0, len(s.Counts)+5)
+	for _, b := range s.Bounds {
+		cols = append(cols, fmt.Sprintf("le_%d", b))
+	}
+	cols = append(cols, "overflow", "total", "mean", "max", "p50", "p90", "p99")
+	return cols
+}
+
+// CSVRow returns the snapshot's values aligned with CSVHeader.
+func (s HistogramSnapshot) CSVRow() []string {
+	row := make([]string, 0, len(s.Counts)+5)
+	for _, c := range s.Counts {
+		row = append(row, fmt.Sprintf("%d", c))
+	}
+	row = append(row,
+		fmt.Sprintf("%d", s.Total),
+		fmt.Sprintf("%.4f", s.Mean),
+		fmt.Sprintf("%d", s.Max),
+		fmt.Sprintf("%d", s.P50),
+		fmt.Sprintf("%d", s.P90),
+		fmt.Sprintf("%d", s.P99))
+	return row
+}
+
+// WriteCSV writes the snapshot as a two-line CSV (header + row).
+func (s HistogramSnapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(s.CSVHeader()); err != nil {
+		return err
+	}
+	if err := cw.Write(s.CSVRow()); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Reset clears all observations, keeping the bucket shape.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
 }
 
 // Mean accumulates a running mean over float64 samples.

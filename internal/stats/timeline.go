@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Interval is one windowed snapshot of the simulation: all counters are
+// deltas over the window (not running totals), so summing a field across
+// every interval of a run reproduces the end-of-run figure exactly.
+type Interval struct {
+	// Index is the interval's ordinal, starting at 0.
+	Index int `json:"index"`
+	// StartInsns/EndInsns bound the window in total retired instructions
+	// (summed over cores); the final interval of a run may be partial.
+	StartInsns uint64 `json:"start_insns"`
+	EndInsns   uint64 `json:"end_insns"`
+	// Insns and Cycles are the window's deltas; IPC is their ratio.
+	Insns  uint64  `json:"insns"`
+	Cycles uint64  `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+
+	// Refs counts memory references completing in the window.
+	Refs uint64 `json:"refs"`
+	// HitLevels counts references by the level that served them
+	// (index 0 = memory, 1 = L1, 2 = private, 3 = LLC).
+	HitLevels [4]uint64 `json:"hit_levels"`
+	LLCMisses uint64    `json:"llc_misses"`
+	// MPKI breaks misses-per-kilo-instruction out by level: MPKI[k] counts
+	// references that missed every level up to and including k's supplier
+	// (L1MPKI = refs not served by L1, etc.); MPKI[0] is memory accesses.
+	L1MPKI  float64 `json:"l1_mpki"`
+	L2MPKI  float64 `json:"l2_mpki"`
+	LLCMPKI float64 `json:"llc_mpki"`
+
+	// Synonym-filter activity (hybrid organizations; zero elsewhere).
+	FilterProbes   uint64  `json:"filter_probes"`
+	Candidates     uint64  `json:"candidates"`
+	FalsePositives uint64  `json:"false_positives"`
+	FPRate         float64 `json:"fp_rate"`
+
+	Faults  uint64 `json:"faults"`
+	Retries uint64 `json:"retries"`
+
+	// Delayed translation activity behind the LLC.
+	DelayedTranslations   uint64 `json:"delayed_translations"`
+	WritebackTranslations uint64 `json:"writeback_translations"`
+
+	// DynamicEnergyPJ is the translation energy spent in the window.
+	DynamicEnergyPJ float64 `json:"dynamic_energy_pj"`
+
+	// WalkDepth is the window's page/segment walk depth distribution.
+	WalkDepth HistogramSnapshot `json:"walk_depth"`
+}
+
+// intervalCSVHeader lists the scalar columns WriteCSV emits, in order.
+var intervalCSVHeader = []string{
+	"index", "start_insns", "end_insns", "insns", "cycles", "ipc",
+	"refs", "hit_mem", "hit_l1", "hit_l2", "hit_llc", "llc_misses",
+	"l1_mpki", "l2_mpki", "llc_mpki",
+	"filter_probes", "candidates", "false_positives", "fp_rate",
+	"faults", "retries", "delayed_translations", "writeback_translations",
+	"dynamic_energy_pj", "walk_depth_mean", "walk_depth_max", "walk_depth_p99",
+}
+
+func (iv *Interval) csvRow() []string {
+	return []string{
+		fmt.Sprintf("%d", iv.Index),
+		fmt.Sprintf("%d", iv.StartInsns),
+		fmt.Sprintf("%d", iv.EndInsns),
+		fmt.Sprintf("%d", iv.Insns),
+		fmt.Sprintf("%d", iv.Cycles),
+		fmt.Sprintf("%.6f", iv.IPC),
+		fmt.Sprintf("%d", iv.Refs),
+		fmt.Sprintf("%d", iv.HitLevels[0]),
+		fmt.Sprintf("%d", iv.HitLevels[1]),
+		fmt.Sprintf("%d", iv.HitLevels[2]),
+		fmt.Sprintf("%d", iv.HitLevels[3]),
+		fmt.Sprintf("%d", iv.LLCMisses),
+		fmt.Sprintf("%.6f", iv.L1MPKI),
+		fmt.Sprintf("%.6f", iv.L2MPKI),
+		fmt.Sprintf("%.6f", iv.LLCMPKI),
+		fmt.Sprintf("%d", iv.FilterProbes),
+		fmt.Sprintf("%d", iv.Candidates),
+		fmt.Sprintf("%d", iv.FalsePositives),
+		fmt.Sprintf("%.6f", iv.FPRate),
+		fmt.Sprintf("%d", iv.Faults),
+		fmt.Sprintf("%d", iv.Retries),
+		fmt.Sprintf("%d", iv.DelayedTranslations),
+		fmt.Sprintf("%d", iv.WritebackTranslations),
+		fmt.Sprintf("%.4f", iv.DynamicEnergyPJ),
+		fmt.Sprintf("%.4f", iv.WalkDepth.Mean),
+		fmt.Sprintf("%d", iv.WalkDepth.Max),
+		fmt.Sprintf("%d", iv.WalkDepth.P99),
+	}
+}
+
+// Timeline is a thread-safe, append-only series of intervals. The
+// simulator appends from its goroutine; readers (the live metrics
+// endpoint, tests) may snapshot concurrently.
+type Timeline struct {
+	mu        sync.Mutex
+	intervals []Interval
+}
+
+// Append adds one interval.
+func (t *Timeline) Append(iv Interval) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.intervals = append(t.intervals, iv)
+}
+
+// Len returns the number of intervals recorded so far.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.intervals)
+}
+
+// Intervals returns a copy of the recorded intervals.
+func (t *Timeline) Intervals() []Interval {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Interval(nil), t.intervals...)
+}
+
+// Latest returns the most recent interval and true, or false when empty.
+func (t *Timeline) Latest() (Interval, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.intervals) == 0 {
+		return Interval{}, false
+	}
+	return t.intervals[len(t.intervals)-1], true
+}
+
+// WriteNDJSON writes one JSON object per line, one line per interval.
+func (t *Timeline) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, iv := range t.Intervals() {
+		if err := enc.Encode(&iv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the intervals as CSV with a header row. The walk-depth
+// histogram is reduced to its mean/max/p99 columns; use NDJSON for the
+// full per-bucket distribution.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(intervalCSVHeader); err != nil {
+		return err
+	}
+	for _, iv := range t.Intervals() {
+		if err := cw.Write(iv.csvRow()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,121 @@
+// Cross-organization probe consistency: a CountingProbe attached to every
+// organization must tally event counts that reconcile exactly with the
+// statistics counters the organizations maintain themselves. Probe
+// emissions sit adjacent to the counters they mirror, so any drift means
+// an emission site was added, moved, or dropped without its counter.
+package hybridvc_test
+
+import (
+	"testing"
+
+	"hybridvc"
+	"hybridvc/internal/baseline"
+	"hybridvc/internal/core"
+	"hybridvc/internal/pipeline"
+)
+
+// TestProbeCountsMatchStats runs a short gups window on every organization
+// with the counting probe attached and checks the reconciliation
+// invariants, both the generic pipeline ones and the per-organization
+// mechanism counters.
+func TestProbeCountsMatchStats(t *testing.T) {
+	const insns = 20_000
+	for _, org := range hybridvc.Organizations() {
+		org := org
+		t.Run(string(org), func(t *testing.T) {
+			sys, err := hybridvc.New(hybridvc.Config{Org: org, LLCBytes: 256 << 10, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.LoadWorkload("gups"); err != nil {
+				t.Fatal(err)
+			}
+			cp := &core.CountingProbe{}
+			sys.Mem.SetProbe(cp)
+			if _, err := sys.Run(insns); err != nil {
+				t.Fatal(err)
+			}
+			if got := sys.Mem.Probe(); got != core.Probe(cp) {
+				t.Fatalf("probe not restored after Run: %v", got)
+			}
+
+			eq := func(name string, probe, stat uint64) {
+				t.Helper()
+				if probe != stat {
+					t.Errorf("%s: probe %d != stat %d", name, probe, stat)
+				}
+			}
+
+			// Generic pipeline invariants.
+			if cp.RouteTotal == 0 {
+				t.Fatal("no route events observed")
+			}
+			eq("routes-sum", cp.RouteTotal, cp.Routes[0]+cp.Routes[1]+cp.Routes[2])
+			eq("cache-accesses vs non-done routes", cp.CacheAccesses,
+				cp.Routes[pipeline.Physical]+cp.Routes[pipeline.Virtual])
+			eq("cache-accesses vs hit levels", cp.CacheAccesses,
+				cp.CacheHitLevel[0]+cp.CacheHitLevel[1]+cp.CacheHitLevel[2]+cp.CacheHitLevel[3])
+			eq("llc-misses vs memory-level hits", cp.LLCMisses, cp.CacheHitLevel[0])
+
+			base := sys.Mem.(core.BaseHolder).BaseState()
+			eq("faults", cp.Faults, base.Faults.Value())
+			if cp.FaultsFixed > cp.Faults {
+				t.Errorf("fixed faults %d > faults %d", cp.FaultsFixed, cp.Faults)
+			}
+			if !org.Virtualized() {
+				// The 2D organizations walk nested tables outside
+				// Base.TimedWalk, so only the native ones pin WalkSteps.
+				eq("walk-steps", cp.WalkSteps, base.WalkSteps.Value())
+			}
+
+			// Organization-specific mechanism counters.
+			switch m := sys.Mem.(type) {
+			case *core.HybridMMU:
+				eq("synonym candidates", cp.FilterCandidates, m.SynonymCandidates.Value())
+				eq("synonym TLB lookups", cp.TLBLookups[pipeline.TLBSynonym], m.SynonymCandidates.Value())
+				eq("false positives", cp.FalsePositives, m.FalsePositives.Value())
+				eq("delayed demand", cp.DelayedDemand, m.DelayedTranslations.Value())
+				eq("delayed writebacks", cp.DelayedWritebacks, m.WritebackXlations.Value())
+				eq("delayed TLB misses",
+					cp.TLBLookups[pipeline.TLBDelayed]-cp.TLBHits[pipeline.TLBDelayed],
+					m.DelayedTLBMisses.Value())
+				if org == hybridvc.Enigma {
+					// Enigma bypasses the synonym filter entirely.
+					eq("filter probes (bypassed)", cp.FilterProbes, 0)
+				} else {
+					eq("filter probes", cp.FilterProbes,
+						m.SynonymCandidates.Value()+m.NonSynonymAccesses.Value())
+				}
+			case *core.VirtHybridMMU:
+				eq("synonym candidates", cp.FilterCandidates, m.SynonymCandidates.Value())
+				eq("synonym TLB lookups", cp.TLBLookups[pipeline.TLBSynonym], m.SynonymCandidates.Value())
+				eq("false positives", cp.FalsePositives, m.FalsePositives.Value())
+				eq("filter probes", cp.FilterProbes,
+					m.SynonymCandidates.Value()+m.NonSynonymAccesses.Value())
+				eq("delayed demand", cp.DelayedDemand, m.DelayedTranslations.Value())
+				eq("two-step translations",
+					cp.DelayedDemand+cp.DelayedWritebacks-cp.DelayedSCHits,
+					m.TwoStepXlations.Value())
+			case *baseline.Conventional:
+				eq("huge TLB hits", cp.TLBHits[pipeline.TLBHuge], m.HugeTLBHits.Value())
+				eq("TLB miss walks",
+					cp.TLBLookups[pipeline.TLBL2]-cp.TLBHits[pipeline.TLBL2],
+					m.TLBMissWalks.Value())
+			case *baseline.DirectSegment:
+				eq("huge TLB hits", cp.TLBHits[pipeline.TLBHuge], m.HugeTLBHits.Value())
+				eq("TLB miss walks",
+					cp.TLBLookups[pipeline.TLBL2]-cp.TLBHits[pipeline.TLBL2],
+					m.TLBMissWalks.Value())
+			case *baseline.RMM:
+				eq("range walks",
+					cp.TLBLookups[pipeline.TLBRange]-cp.TLBHits[pipeline.TLBRange],
+					m.RangeWalks.Value())
+			case *baseline.OVC:
+				// OVC probes its (vestigial) filter on every reference.
+				eq("filter probes", cp.FilterProbes, cp.RouteTotal)
+			case *baseline.Virt2D:
+				eq("2D walks", cp.Walks, m.Walks2D.Value())
+			}
+		})
+	}
+}

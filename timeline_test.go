@@ -1,0 +1,132 @@
+// Interval time-series acceptance: the windowed collector must produce
+// well-formed intervals whose per-field sums telescope exactly to the
+// final report — the deltas are computed against the same quantities the
+// report reads, so nothing may leak between windows.
+package hybridvc_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"hybridvc"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/stats"
+)
+
+// newTimelineSystem runs the acceptance workload: hybrid-manyseg+sc, a
+// small LLC (busy delayed-translation path), 120k instructions at a 10k
+// interval.
+func runTimeline(t *testing.T) (*stats.Timeline, sim.Report) {
+	t.Helper()
+	simCfg := sim.DefaultConfig()
+	simCfg.Interval = 10_000
+	sys, err := hybridvc.New(hybridvc.Config{
+		Org:      hybridvc.HybridManySegSC,
+		LLCBytes: 256 << 10,
+		Seed:     1,
+		Sim:      simCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadWorkload("gups"); err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.Run(120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := sys.LastSim.Timeline()
+	if tl == nil {
+		t.Fatal("Timeline() is nil with Interval set")
+	}
+	return tl, report
+}
+
+func TestTimelineSumsMatchReport(t *testing.T) {
+	tl, report := runTimeline(t)
+	ivs := tl.Intervals()
+	if len(ivs) < 10 {
+		t.Fatalf("got %d intervals, want >= 10", len(ivs))
+	}
+
+	var insns, cycles uint64
+	var energy float64
+	prevEnd := uint64(0)
+	for i, iv := range ivs {
+		if iv.Index != i {
+			t.Errorf("interval %d: index %d", i, iv.Index)
+		}
+		if iv.StartInsns != prevEnd {
+			t.Errorf("interval %d: starts at %d, previous ended at %d", i, iv.StartInsns, prevEnd)
+		}
+		if iv.EndInsns <= iv.StartInsns {
+			t.Errorf("interval %d: empty window [%d,%d]", i, iv.StartInsns, iv.EndInsns)
+		}
+		if iv.Insns != iv.EndInsns-iv.StartInsns {
+			t.Errorf("interval %d: Insns %d != EndInsns-StartInsns %d",
+				i, iv.Insns, iv.EndInsns-iv.StartInsns)
+		}
+		prevEnd = iv.EndInsns
+		insns += iv.Insns
+		cycles += iv.Cycles
+		energy += iv.DynamicEnergyPJ
+	}
+	if insns != report.Instructions {
+		t.Errorf("summed interval insns %d != report instructions %d", insns, report.Instructions)
+	}
+	if cycles != report.Cycles {
+		t.Errorf("summed interval cycles %d != report cycles %d", cycles, report.Cycles)
+	}
+	if diff := math.Abs(energy - report.DynamicEnergyPJ); diff > 1e-6*report.DynamicEnergyPJ {
+		t.Errorf("summed interval energy %.3f pJ != report %.3f pJ", energy, report.DynamicEnergyPJ)
+	}
+}
+
+func TestTimelineNDJSONWellFormed(t *testing.T) {
+	tl, _ := runTimeline(t)
+	var buf bytes.Buffer
+	if err := tl.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var iv stats.Interval
+		if err := json.Unmarshal(sc.Bytes(), &iv); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if iv.Index != lines {
+			t.Errorf("line %d decodes to index %d", lines, iv.Index)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != tl.Len() {
+		t.Errorf("NDJSON has %d lines, timeline has %d intervals", lines, tl.Len())
+	}
+}
+
+func TestTimelineCSVWellFormed(t *testing.T) {
+	tl, _ := runTimeline(t)
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(rows) != tl.Len()+1 {
+		t.Fatalf("CSV has %d rows, want header + %d intervals", len(rows), tl.Len())
+	}
+	cols := len(strings.Split(rows[0], ","))
+	for i, row := range rows {
+		if got := len(strings.Split(row, ",")); got != cols {
+			t.Errorf("row %d has %d columns, header has %d", i, got, cols)
+		}
+	}
+}
