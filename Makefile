@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci parity bench bench-hotpath bench-check bench-all sweep sweep-full clean
+.PHONY: all build test race vet ci parity invariants fuzz-smoke bench bench-hotpath bench-check bench-all sweep sweep-full clean
 
 all: build
 
@@ -26,13 +26,29 @@ race:
 # Set BENCH_CHECK=1 to also gate hot-path throughput against the
 # committed BENCH_hotpath.json (off by default: benchmark wall time and
 # machine-to-machine variance don't belong in every CI run).
-ci: vet test race parity $(if $(BENCH_CHECK),bench-check)
+ci: vet test race parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
 
 # parity runs the golden refactor gate on its own: every organization's
 # full stat table must stay byte-identical to the recorded golden file,
 # at jobs=1 and jobs=8.
 parity:
 	$(GO) test -run TestGoldenParity -count=1 ./experiments
+
+# invariants runs the fault-injection suite on its own: every
+# organization under every fault type with the runtime invariant checker
+# attached, plus the seeded-determinism golden.
+invariants:
+	$(GO) test -count=1 ./internal/fault
+	$(GO) test -run 'TestGoldenFaultSweep|TestCheckpointResume' -count=1 ./experiments
+
+# fuzz-smoke gives each fuzz target a short randomized budget on top of
+# its checked-in corpus — enough to catch regressions in the parsing and
+# encoding invariants without turning CI into a fuzzing campaign.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReaderNeverPanics -fuzztime=10s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzPTEEncodeDecode -fuzztime=10s ./internal/pagetable
+	$(GO) test -run=NONE -fuzz=FuzzMapLookupAgree -fuzztime=10s ./internal/pagetable
 
 # bench runs the per-experiment benchmarks and the full-sweep benchmark,
 # which writes BENCH_sweep.json (wall-clock seconds per Quick sweep) for

@@ -2,6 +2,13 @@
 // or more named workloads, run a number of instructions per core, and
 // print the performance report with a translation-energy breakdown.
 //
+// Flag combinations are validated before any work starts, with distinct
+// exit codes so scripts can tell misuse classes apart: 2 for an unknown
+// organization, 3 for an invalid flag value or combination, 4 for an
+// unusable -metrics-addr. A SIGINT during the run stops the simulator at
+// a consistent boundary, flushes the partial report (and timeline, if
+// requested), and exits 130.
+//
 // Usage:
 //
 //	hvcsim -org hybrid-manyseg+sc -workloads gups,mcf -insns 500000 -cores 2
@@ -12,19 +19,113 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 
 	"hybridvc"
 	"hybridvc/internal/sim"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/workload"
 )
+
+// Exit codes. Misuse classes are distinct so wrappers and CI scripts can
+// react without parsing stderr.
+const (
+	exitFailure     = 1   // runtime failure
+	exitUnknownOrg  = 2   // -org names no selectable organization
+	exitBadFlags    = 3   // invalid flag value or combination
+	exitBadMetrics  = 4   // -metrics-addr is not a usable listen address
+	exitInterrupted = 130 // SIGINT: partial results were flushed
+)
+
+// options collects the validated flag set.
+type options struct {
+	org         string
+	orgSet      bool // -org given explicitly (flag.Visit)
+	workloads   []string
+	insns       uint64
+	cores       int
+	llc         int
+	dtlb        int
+	ic          int
+	interval    uint64
+	timeline    string
+	metricsAddr string
+	compare     bool
+}
+
+// validate checks the flag set up front and returns a non-zero exit code
+// with an actionable message for the first problem found. It is pure so
+// the CLI contract is unit-testable without exec-ing the binary.
+func (o *options) validate() (int, string) {
+	if o.compare && o.orgSet {
+		return exitBadFlags, "-compare sweeps every native organization; drop -org"
+	}
+	if !o.compare && !knownOrg(o.org) {
+		var names []string
+		for _, org := range hybridvc.Organizations() {
+			names = append(names, string(org))
+		}
+		return exitUnknownOrg, fmt.Sprintf("unknown organization %q (want one of: %s)",
+			o.org, strings.Join(names, ", "))
+	}
+	if o.cores < 1 {
+		return exitBadFlags, fmt.Sprintf("-cores %d: need at least one core", o.cores)
+	}
+	if o.insns == 0 {
+		return exitBadFlags, "-insns 0: nothing to simulate"
+	}
+	if o.llc < 0 {
+		return exitBadFlags, fmt.Sprintf("-llc %d: size cannot be negative", o.llc)
+	}
+	if o.dtlb < 1 {
+		return exitBadFlags, fmt.Sprintf("-dtlb %d: the delayed TLB needs at least one entry", o.dtlb)
+	}
+	if o.ic < 1 {
+		return exitBadFlags, fmt.Sprintf("-ic %d: the index cache needs a positive size", o.ic)
+	}
+	if len(o.workloads) == 0 {
+		return exitBadFlags, "-workloads: need at least one workload name"
+	}
+	for _, name := range o.workloads {
+		if _, ok := workload.Specs[name]; !ok {
+			return exitBadFlags, fmt.Sprintf("unknown workload %q (run -list for the catalog)", name)
+		}
+	}
+	observing := o.timeline != "" || o.metricsAddr != ""
+	if o.interval > 0 && !observing {
+		return exitBadFlags, fmt.Sprintf(
+			"-interval %d collects a time-series nobody reads; add -timeline or -metrics-addr", o.interval)
+	}
+	if o.metricsAddr != "" {
+		if _, port, err := net.SplitHostPort(o.metricsAddr); err != nil {
+			return exitBadMetrics, fmt.Sprintf("-metrics-addr %q: %v (want host:port, e.g. :8080)", o.metricsAddr, err)
+		} else if port == "" {
+			return exitBadMetrics, fmt.Sprintf("-metrics-addr %q: missing port (want host:port, e.g. :8080)", o.metricsAddr)
+		}
+	}
+	return 0, ""
+}
+
+// splitWorkloads parses the comma-separated -workloads value, dropping
+// empty entries.
+func splitWorkloads(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 func main() {
 	org := flag.String("org", string(hybridvc.HybridManySegSC),
@@ -65,94 +166,117 @@ func main() {
 		return
 	}
 
+	opts := options{
+		org:         *org,
+		workloads:   splitWorkloads(*wls),
+		insns:       *insns,
+		cores:       *cores,
+		llc:         *llc,
+		dtlb:        *dtlb,
+		ic:          *ic,
+		interval:    *interval,
+		timeline:    *timeline,
+		metricsAddr: *metricsAddr,
+		compare:     *compare,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "org" {
+			opts.orgSet = true
+		}
+	})
+	if code, msg := opts.validate(); code != 0 {
+		fmt.Fprintf(os.Stderr, "hvcsim: %s\n", msg)
+		if code == exitUnknownOrg {
+			flag.Usage()
+		}
+		os.Exit(code)
+	}
+
 	stopCPU := startCPUProfile(*cpuprofile)
 
-	if *compare {
-		runComparison(*wls, *insns, *cores, *llc, *dtlb, *ic, *seed)
+	if opts.compare {
+		runComparison(*wls, opts.insns, opts.cores, opts.llc, opts.dtlb, opts.ic, *seed)
 		stopCPU()
 		writeMemProfile(*memprofile)
 		return
 	}
 
-	if !knownOrg(*org) {
-		var names []string
-		for _, o := range hybridvc.Organizations() {
-			names = append(names, string(o))
-		}
-		fmt.Fprintf(os.Stderr, "hvcsim: unknown organization %q (want one of: %s)\n",
-			*org, strings.Join(names, ", "))
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	observing := *timeline != "" || *metricsAddr != ""
-	if observing && *interval == 0 {
-		*interval = 10_000
+	observing := opts.timeline != "" || opts.metricsAddr != ""
+	if observing && opts.interval == 0 {
+		opts.interval = 10_000
 	}
 	simCfg := sim.DefaultConfig()
-	simCfg.Interval = *interval
+	simCfg.Interval = opts.interval
 
 	sys, err := hybridvc.New(hybridvc.Config{
-		Org:               hybridvc.Organization(*org),
-		Cores:             *cores,
-		LLCBytes:          *llc,
-		DelayedTLBEntries: *dtlb,
-		IndexCacheBytes:   *ic,
+		Org:               hybridvc.Organization(opts.org),
+		Cores:             opts.cores,
+		LLCBytes:          opts.llc,
+		DelayedTLBEntries: opts.dtlb,
+		IndexCacheBytes:   opts.ic,
 		Seed:              *seed,
 		Sim:               simCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hvcsim:", err)
-		os.Exit(1)
+		os.Exit(exitFailure)
 	}
-	for _, name := range strings.Split(*wls, ",") {
-		if err := sys.LoadWorkload(strings.TrimSpace(name)); err != nil {
+	for _, name := range opts.workloads {
+		if err := sys.LoadWorkload(name); err != nil {
 			fmt.Fprintln(os.Stderr, "hvcsim:", err)
-			os.Exit(1)
+			os.Exit(exitFailure)
 		}
 	}
 
-	var report sim.Report
-	if observing {
-		// Drive the simulator directly: the Timeline must exist before the
-		// run starts so the live metrics endpoint can read it concurrently.
-		simulator := sim.New(simCfg, sys.Mem, sys.Generators())
-		if *metricsAddr != "" {
-			serveMetrics(*metricsAddr, *org, *wls, simulator.Timeline())
-		}
-		report = simulator.Run(*insns)
-		if *timeline != "" {
-			if err := writeTimeline(*timeline, simulator.Timeline()); err != nil {
-				fmt.Fprintln(os.Stderr, "hvcsim:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "hvcsim: wrote %d intervals to %s\n",
-				simulator.Timeline().Len(), *timeline)
-		}
-	} else {
-		report, err = sys.Run(*insns)
-		if err != nil {
+	// Drive the simulator directly (rather than through sys.Run) so the
+	// SIGINT handler can stop it at a consistent access boundary, and so
+	// the Timeline exists before the run for the live metrics endpoint.
+	simulator := sim.New(simCfg, sys.Mem, sys.Generators())
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "hvcsim: interrupt — flushing partial results (interrupt again to abort)")
+		simulator.Stop()
+		<-sigs
+		os.Exit(exitInterrupted)
+	}()
+	if opts.metricsAddr != "" {
+		serveMetrics(opts.metricsAddr, opts.org, *wls, simulator.Timeline())
+	}
+	report := simulator.Run(opts.insns)
+	signal.Stop(sigs)
+
+	if opts.timeline != "" {
+		if err := writeTimeline(opts.timeline, simulator.Timeline()); err != nil {
 			fmt.Fprintln(os.Stderr, "hvcsim:", err)
-			os.Exit(1)
+			os.Exit(exitFailure)
 		}
+		fmt.Fprintf(os.Stderr, "hvcsim: wrote %d intervals to %s\n",
+			simulator.Timeline().Len(), opts.timeline)
 	}
 	stopCPU()
 	writeMemProfile(*memprofile)
 	if *jsonOut {
 		fmt.Println(report.JSON())
-		return
-	}
-	fmt.Println(report)
-	fmt.Printf("per-core IPC: ")
-	for i, ipc := range report.PerCoreIPC {
-		if i > 0 {
-			fmt.Print(", ")
+	} else {
+		fmt.Println(report)
+		fmt.Printf("per-core IPC: ")
+		for i, ipc := range report.PerCoreIPC {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%.3f", ipc)
 		}
-		fmt.Printf("%.3f", ipc)
+		fmt.Println()
+		fmt.Println("\ntranslation energy breakdown:")
+		fmt.Print(sys.Mem.Energy().Breakdown())
 	}
-	fmt.Println()
-	fmt.Println("\ntranslation energy breakdown:")
-	fmt.Print(sys.Mem.Energy().Breakdown())
+	if simulator.Interrupted() {
+		fmt.Fprintf(os.Stderr, "hvcsim: run interrupted after %d instructions; report above is partial\n",
+			report.Instructions)
+		os.Exit(exitInterrupted)
+	}
 }
 
 // writeTimeline writes the time-series to path: CSV when the extension

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"hybridvc/experiments"
@@ -32,6 +35,10 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel sweep workers (<= 0 means GOMAXPROCS)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	verbose := flag.Bool("v", false, "report per-cell sweep progress on stderr")
+	ckpt := flag.String("checkpoint", "", "journal completed cells to this NDJSON file and resume from it")
+	cellTimeout := flag.Duration("cell-timeout", 0, "abandon a sweep cell attempt after this long (0 = unbounded)")
+	retries := flag.Int("retries", 0, "re-run a cell after a transient failure up to this many times")
+	backoff := flag.Duration("retry-backoff", 0, "base pause between retry attempts (default 100ms)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +53,16 @@ func main() {
 			fail(err)
 		}
 	}
+
+	// Ctrl-C (or SIGTERM) cancels the sweep context: workers stop
+	// promptly, and with -checkpoint the completed cells are already
+	// journaled, so re-running the same command resumes where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	experiments.SetContext(ctx)
+	experiments.SetCheckpoint(*ckpt)
+	experiments.SetCellTimeout(*cellTimeout)
+	experiments.SetRetry(*retries, *backoff)
 
 	experiments.SetJobs(*jobs)
 	if *verbose {

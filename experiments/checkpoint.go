@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"hybridvc/internal/sim"
+)
+
+// checkpointRecord is one completed cell journaled to the NDJSON
+// checkpoint file: the cell's input index and label (the resume key) plus
+// its serialized results.
+type checkpointRecord struct {
+	Index  int             `json:"index"`
+	Label  string          `json:"label"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Value  json.RawMessage `json:"value,omitempty"`
+}
+
+// checkpoint journals completed cells so an interrupted sweep can resume.
+// Records append from multiple workers under a mutex; each record is one
+// line, flushed and synced before append returns, so a crash loses at
+// most the record being written — and resume tolerates a torn final line.
+type checkpoint struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint loads any existing checkpoint at path, restores matching
+// records into results (marking restored), and opens the file for
+// appending the rest of the sweep.
+func openCheckpoint(path string, cells []Cell, results []CellResult, restored []bool) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		restoreCheckpoint(data, cells, results, restored)
+	case !errors.Is(err, fs.ErrNotExist):
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return &checkpoint{f: f}, nil
+}
+
+// restoreCheckpoint replays journal lines against the sweep's cells. A
+// record restores its cell only when the index and label still match and
+// every value the cell needs can be reconstructed; anything else — torn
+// trailing line from a crash, records from a different sweep shape, a
+// Value without a DecodeValue hook — is ignored and the cell re-runs.
+func restoreCheckpoint(data []byte, cells []Cell, results []CellResult, restored []bool) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if json.Unmarshal(line, &rec) != nil {
+			continue
+		}
+		i := rec.Index
+		if i < 0 || i >= len(cells) || cells[i].Label != rec.Label || restored[i] {
+			continue
+		}
+		var res CellResult
+		if len(rec.Report) > 0 {
+			var rep sim.Report
+			if json.Unmarshal(rec.Report, &rep) != nil {
+				continue
+			}
+			res.Report = rep
+		}
+		needsValue := cells[i].Extract != nil || cells[i].Fn != nil
+		if needsValue {
+			if cells[i].DecodeValue == nil || len(rec.Value) == 0 {
+				continue
+			}
+			v, err := cells[i].DecodeValue(rec.Value)
+			if err != nil {
+				continue
+			}
+			res.Value = v
+		}
+		results[i] = res
+		restored[i] = true
+	}
+}
+
+// append journals one completed cell.
+func (c *checkpoint) append(i int, cell Cell, res CellResult) error {
+	rec := checkpointRecord{Index: i, Label: cell.Label}
+	if cell.Fn == nil {
+		// System-path cells carry a report; reuse the report's own
+		// (sanitized, infallible) encoder for consistency with every
+		// other report the harness writes.
+		rec.Report = json.RawMessage(res.Report.JSON())
+	}
+	if res.Value != nil {
+		v, err := json.Marshal(res.Value)
+		if err != nil {
+			return fmt.Errorf("checkpoint cell %q: %w", cell.Label, err)
+		}
+		rec.Value = v
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint cell %q: %w", cell.Label, err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint cell %q: %w", cell.Label, err)
+	}
+	return c.f.Sync()
+}
+
+func (c *checkpoint) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.f.Close()
+}

@@ -120,4 +120,5 @@ func init() {
 		return tables, nil
 	}})
 	Register(Experiment{"parity", "Cross-organization stat fingerprint (golden refactor-parity check)", one(Parity)})
+	Register(Experiment{"faults", "Deterministic fault injection with runtime invariant checking", one(FaultSweep)})
 }

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withKnobs resets every resilience knob after the test so the package-
+// level configuration cannot leak between tests.
+func withKnobs(t *testing.T) {
+	t.Helper()
+	prevCtx := SetContext(nil)
+	prevTimeout := SetCellTimeout(0)
+	prevRetries, prevBackoff := SetRetry(0, 0)
+	prevCkpt := SetCheckpoint("")
+	t.Cleanup(func() {
+		SetContext(prevCtx)
+		SetCellTimeout(prevTimeout)
+		SetRetry(prevRetries, prevBackoff)
+		SetCheckpoint(prevCkpt)
+	})
+}
+
+// fnCell builds a trivial Fn cell returning its own index.
+func fnCell(i int, fn func() (any, error)) Cell {
+	return Cell{Label: fmt.Sprintf("cell-%d", i), Fn: fn, DecodeValue: decodeStringRow}
+}
+
+// TestContextCancelStopsSweep proves cancellation is prompt: once the
+// context fires, pending cells never start and runCells reports the
+// interruption.
+func TestContextCancelStopsSweep(t *testing.T) {
+	withKnobs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	SetContext(ctx)
+	prev := SetJobs(2)
+	defer SetJobs(prev)
+
+	var started atomic.Int64
+	release := make(chan struct{})
+	cells := make([]Cell, 16)
+	for i := range cells {
+		i := i
+		cells[i] = fnCell(i, func() (any, error) {
+			started.Add(1)
+			<-release
+			return []string{fmt.Sprint(i)}, nil
+		})
+	}
+	go func() {
+		for started.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		close(release)
+	}()
+	_, err := runCells(cells)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n > 4 {
+		t.Errorf("%d cells started after prompt cancellation (2 workers)", n)
+	}
+}
+
+// TestRetryRecoversTransientFailures proves the retry path: cells that
+// fail transiently (explicitly marked, or via panic) succeed within the
+// attempt budget, and non-transient failures are not retried.
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	withKnobs(t)
+	SetRetry(3, time.Millisecond)
+
+	var transientTries, panicTries, fatalTries atomic.Int64
+	cells := []Cell{
+		fnCell(0, func() (any, error) {
+			if transientTries.Add(1) < 3 {
+				return nil, Transient(errors.New("injected hiccup"))
+			}
+			return []string{"ok"}, nil
+		}),
+		fnCell(1, func() (any, error) {
+			if panicTries.Add(1) < 2 {
+				panic("injected panic")
+			}
+			return []string{"ok"}, nil
+		}),
+		fnCell(2, func() (any, error) {
+			fatalTries.Add(1)
+			return nil, errors.New("permanent failure")
+		}),
+	}
+	results, err := runCells(cells)
+	if err == nil {
+		t.Fatal("permanent failure not reported")
+	}
+	if got := results[0].Value; !reflect.DeepEqual(got, any([]string{"ok"})) {
+		t.Errorf("transient cell result %v after %d tries", got, transientTries.Load())
+	}
+	if got := results[1].Value; !reflect.DeepEqual(got, any([]string{"ok"})) {
+		t.Errorf("panicking cell result %v after %d tries", got, panicTries.Load())
+	}
+	if n := fatalTries.Load(); n != 1 {
+		t.Errorf("non-transient cell ran %d times, want 1", n)
+	}
+}
+
+// TestCellTimeoutIsTransient proves a hung cell is abandoned at the
+// timeout and the failure classifies as transient (so retries apply).
+func TestCellTimeoutIsTransient(t *testing.T) {
+	withKnobs(t)
+	SetCellTimeout(10 * time.Millisecond)
+
+	var tries atomic.Int64
+	hang := make(chan struct{})
+	defer close(hang)
+	cells := []Cell{fnCell(0, func() (any, error) {
+		if tries.Add(1) == 1 {
+			<-hang
+		}
+		return []string{"ok"}, nil
+	})}
+	_, err := runCells(cells)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("timeout error %v is not transient", err)
+	}
+
+	SetRetry(1, time.Millisecond)
+	tries.Store(0)
+	results, err := runCells(cells)
+	if err != nil {
+		t.Fatalf("retry after timeout failed: %v", err)
+	}
+	if got := results[0].Value; !reflect.DeepEqual(got, any([]string{"ok"})) {
+		t.Errorf("result %v after timeout retry", got)
+	}
+}
+
+// TestCheckpointResume proves the resume contract: a sweep interrupted
+// partway, then re-run against the same checkpoint, reaches results
+// identical to an uninterrupted sweep — restored cells do not re-run.
+func TestCheckpointResume(t *testing.T) {
+	withKnobs(t)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ndjson")
+	SetCheckpoint(ckpt)
+	prev := SetJobs(1)
+	defer SetJobs(prev)
+
+	var runs atomic.Int64
+	fail := atomic.Bool{}
+	fail.Store(true)
+	mk := func() []Cell {
+		cells := make([]Cell, 6)
+		for i := range cells {
+			i := i
+			cells[i] = fnCell(i, func() (any, error) {
+				if i >= 3 && fail.Load() {
+					return nil, fmt.Errorf("interrupted before cell %d", i)
+				}
+				runs.Add(1)
+				return []string{fmt.Sprintf("value-%d", i)}, nil
+			})
+		}
+		return cells
+	}
+
+	if _, err := runCells(mk()); err == nil {
+		t.Fatal("interrupted sweep reported success")
+	}
+	if n := runs.Load(); n != 3 {
+		t.Fatalf("%d cells completed before interruption, want 3", n)
+	}
+
+	fail.Store(false)
+	results, err := runCells(mk())
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if n := runs.Load(); n != 6 {
+		t.Errorf("resume re-ran completed cells: %d total runs, want 6", n)
+	}
+	for i, r := range results {
+		want := []string{fmt.Sprintf("value-%d", i)}
+		if !reflect.DeepEqual(r.Value, any(want)) {
+			t.Errorf("cell %d resumed to %v, want %v", i, r.Value, want)
+		}
+	}
+
+	// A torn trailing record (crash mid-write) must not poison resume.
+	f, err := os.OpenFile(ckpt, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":2,"label":"cell-2","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := runCells(mk()); err != nil {
+		t.Fatalf("resume with torn trailing record: %v", err)
+	}
+	if n := runs.Load(); n != 6 {
+		t.Errorf("torn record caused re-runs: %d total runs, want 6", n)
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted proves byte-level determinism
+// of resume on the real system path: a fault-sweep cell checkpointed and
+// restored yields the same table as running fresh.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	skipIfRace(t)
+	withKnobs(t)
+
+	fresh, err := FaultSweep(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "faults.ndjson")
+	SetCheckpoint(ckpt)
+	first, err := FaultSweep(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := FaultSweep(Quick) // every cell restored from the journal
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.String() != first.String() {
+		t.Errorf("checkpointed sweep diverged from plain sweep")
+	}
+	if fresh.String() != resumed.String() {
+		t.Errorf("resumed sweep diverged from uninterrupted sweep")
+	}
+}
+
+// TestRunnerRaceSafety exercises the worker pool's panic recovery,
+// retry, and checkpoint paths concurrently; run with -race it proves the
+// new machinery is goroutine-safe.
+func TestRunnerRaceSafety(t *testing.T) {
+	withKnobs(t)
+	SetRetry(2, time.Millisecond)
+	SetCheckpoint(filepath.Join(t.TempDir(), "race.ndjson"))
+	prev := SetJobs(8)
+	defer SetJobs(prev)
+
+	var flaky [32]atomic.Int64
+	cells := make([]Cell, len(flaky))
+	for i := range cells {
+		i := i
+		cells[i] = fnCell(i, func() (any, error) {
+			if i%3 == 0 && flaky[i].Add(1) == 1 {
+				panic(fmt.Sprintf("first-attempt panic in cell %d", i))
+			}
+			return []string{fmt.Sprint(i)}, nil
+		})
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		t.Fatalf("runCells: %v", err)
+	}
+	for i, r := range results {
+		if !reflect.DeepEqual(r.Value, any([]string{fmt.Sprint(i)})) {
+			t.Errorf("cell %d: %v", i, r.Value)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -46,6 +47,12 @@ type Cell struct {
 	// Fn, when set, replaces the system path: the cell runs Fn and stores
 	// its result as the Value (Report stays zero).
 	Fn func() (any, error)
+
+	// DecodeValue, when set, reconstructs a checkpointed Value from its
+	// JSON encoding so checkpoint resume (SetCheckpoint) can restore
+	// Extract/Fn results without re-running the cell. A cell whose
+	// checkpoint record carries a Value but has no decoder is re-run.
+	DecodeValue func(data []byte) (any, error)
 }
 
 // CellResult is one cell's outcome, slotted at the cell's input index.
@@ -90,23 +97,148 @@ func SetProgress(fn func(done, total int, label string, elapsed time.Duration)) 
 	progressMu.Unlock()
 }
 
+// Resilience knobs (SetContext, SetRetry, SetCellTimeout, SetCheckpoint),
+// guarded by one mutex in the style of the progress observer. runCells
+// snapshots them once per sweep, so changing a knob mid-sweep affects
+// only subsequent runs.
+var knobMu sync.Mutex
+var runCtx context.Context
+var retryMax int
+var retryBackoff = 100 * time.Millisecond
+var cellTimeout time.Duration
+var checkpointPath string
+
+// SetContext installs a cancellation context for subsequent sweeps: when
+// it is cancelled, pending cells are not started, in-flight cells are
+// abandoned promptly, and runCells returns the partial results together
+// with the context's error. nil restores the default (never cancelled).
+// It returns the previous context.
+func SetContext(ctx context.Context) context.Context {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	prev := runCtx
+	runCtx = ctx
+	return prev
+}
+
+// SetRetry configures transient-failure handling for subsequent sweeps: a
+// cell whose failure is transient — a recovered panic, a cell timeout, or
+// any error wrapping ErrTransient — is re-run up to retries times, with a
+// linearly growing backoff pause between attempts (attempt n waits
+// n×backoff). retries <= 0 disables retrying; backoff <= 0 keeps the
+// previous backoff. It returns the previous settings.
+func SetRetry(retries int, backoff time.Duration) (int, time.Duration) {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	prevN, prevB := retryMax, retryBackoff
+	retryMax = retries
+	if backoff > 0 {
+		retryBackoff = backoff
+	}
+	return prevN, prevB
+}
+
+// SetCellTimeout bounds each cell attempt for subsequent sweeps: an
+// attempt that produces no result within d fails with a transient
+// timeout error (and is therefore retried when retries are configured).
+// d <= 0 disables the bound. It returns the previous setting.
+func SetCellTimeout(d time.Duration) time.Duration {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	prev := cellTimeout
+	cellTimeout = d
+	return prev
+}
+
+// SetCheckpoint directs subsequent sweeps to journal every completed cell
+// to the NDJSON file at path, and to resume from it: cells whose records
+// are already present (matched by index and label) are restored instead
+// of re-run, so an interrupted sweep continued with the same
+// configuration reaches the same final results. An empty path disables
+// checkpointing. It returns the previous setting.
+func SetCheckpoint(path string) string {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	prev := checkpointPath
+	checkpointPath = path
+	return prev
+}
+
+// ErrTransient marks failures worth retrying. Wrap cell errors with
+// Transient (or %w this sentinel) to opt into the retry path; recovered
+// panics and cell timeouts are transient automatically.
+var ErrTransient = errors.New("transient failure")
+
+// transientErr tags an error as transient without changing its message.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+func (e *transientErr) Is(target error) bool {
+	return target == ErrTransient
+}
+
+// Transient wraps err so IsTransient reports true (nil stays nil).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err}
+}
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// snapshotKnobs captures the per-sweep resilience configuration.
+func snapshotKnobs() (ctx context.Context, timeout time.Duration, retries int, backoff time.Duration, ckpt string) {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	ctx = runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx, cellTimeout, retryMax, retryBackoff, checkpointPath
+}
+
 // runCells executes the cells on a pool of Jobs() workers and returns
 // their results in input order. A cell that fails — via returned error or
 // recovered panic — leaves its slot's Value nil; all failures are joined
 // into the returned error. Because results are index-slotted and cells
-// are isolated, the output is identical for any worker count.
+// are isolated, the output is identical for any worker count, and a
+// checkpointed sweep resumed after an interruption reaches the same
+// final results as an uninterrupted one.
 func runCells(cells []Cell) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
 	cellErrs := make([]error, len(cells))
 	if len(cells) == 0 {
 		return results, nil
 	}
-	jobs := Jobs()
-	if jobs > len(cells) {
-		jobs = len(cells)
+	ctx, timeout, retries, backoff, ckptPath := snapshotKnobs()
+
+	restored := make([]bool, len(cells))
+	var ckpt *checkpoint
+	if ckptPath != "" {
+		var err error
+		ckpt, err = openCheckpoint(ckptPath, cells, results, restored)
+		if err != nil {
+			return results, err
+		}
+		defer ckpt.close()
+	}
+	pending := 0
+	for i := range cells {
+		if !restored[i] {
+			pending++
+		}
 	}
 
-	var done atomic.Int64
+	jobs := Jobs()
+	if jobs > pending {
+		jobs = pending
+	}
+
+	done := atomic.Int64{}
+	done.Store(int64(len(cells) - pending))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -114,8 +246,16 @@ func runCells(cells []Cell) ([]CellResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					// Cancelled: leave the slot unrun; the sweep-level
+					// context error covers every abandoned cell.
+					continue
+				}
 				start := time.Now()
-				results[i], cellErrs[i] = runOneCell(cells[i])
+				results[i], cellErrs[i] = runCellResilient(ctx, cells[i], timeout, retries, backoff)
+				if cellErrs[i] == nil && ckpt != nil {
+					cellErrs[i] = ckpt.append(i, cells[i], results[i])
+				}
 				n := int(done.Add(1))
 				progressMu.Lock()
 				if progressFn != nil {
@@ -125,20 +265,81 @@ func runCells(cells []Cell) ([]CellResult, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range cells {
-		idx <- i
+		if restored[i] {
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		cellErrs = append(cellErrs, fmt.Errorf("sweep interrupted: %w", context.Cause(ctx)))
+	}
 	return results, errors.Join(cellErrs...)
 }
 
-// runOneCell executes a single cell, converting any panic into an error
-// so one bad design point cannot abort a whole sweep.
+// runCellResilient runs one cell, retrying transient failures with
+// linear backoff up to the configured attempt budget.
+func runCellResilient(ctx context.Context, c Cell, timeout time.Duration, retries int, backoff time.Duration) (CellResult, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := runCellOnce(ctx, c, timeout)
+		if err == nil || attempt >= retries || !IsTransient(err) || ctx.Err() != nil {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return res, err
+		case <-time.After(time.Duration(attempt+1) * backoff):
+		}
+	}
+}
+
+// runCellOnce runs one cell attempt, bounding it by the cell timeout and
+// the sweep context. A timed-out or abandoned attempt's goroutine cannot
+// be killed — it is left to finish in the background and its result is
+// discarded; cells are self-contained, so it cannot corrupt the sweep.
+func runCellOnce(ctx context.Context, c Cell, timeout time.Duration) (CellResult, error) {
+	if timeout <= 0 && ctx.Done() == nil {
+		return runOneCell(c)
+	}
+	type outcome struct {
+		res CellResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := runOneCell(c)
+		ch <- outcome{r, e}
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-expired:
+		return CellResult{}, Transient(fmt.Errorf("cell %q: no result within %v", c.Label, timeout))
+	case <-ctx.Done():
+		return CellResult{}, fmt.Errorf("cell %q: %w", c.Label, context.Cause(ctx))
+	}
+}
+
+// runOneCell executes a single cell, converting any panic into a
+// transient error so one bad design point cannot abort a whole sweep and
+// sporadic (e.g. injected) panics are retried when retries are enabled.
 func runOneCell(c Cell) (res CellResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("cell %q: panic: %v\n%s", c.Label, r, debug.Stack())
+			err = Transient(fmt.Errorf("cell %q: panic: %v\n%s", c.Label, r, debug.Stack()))
 		}
 	}()
 	if c.Fn != nil {

@@ -25,7 +25,9 @@ import (
 
 	"hybridvc/internal/baseline"
 	"hybridvc/internal/core"
+	"hybridvc/internal/fault"
 	"hybridvc/internal/osmodel"
+	"hybridvc/internal/pipeline"
 	"hybridvc/internal/sim"
 	"hybridvc/internal/virt"
 	"hybridvc/internal/workload"
@@ -253,6 +255,80 @@ func applyLLC(dst *int, override int) {
 	if override > 0 {
 		*dst = override
 	}
+}
+
+// AttachChecker attaches a runtime invariant checker wired for the
+// system's organization: the hybrid designs expose their synonym and
+// delayed TLBs and reconcile the false-positive counter, the virtualized
+// designs resolve guest-physical addresses through the VM, OVC audits
+// only its virtual L1 (split naming boundary), and filter-bypass
+// (Enigma) permits shared pages under virtual names. The checker probes
+// the memory system (composed with any existing probe) and its Check
+// method may be invoked at any point between accesses — the fault
+// injector does so after every injection.
+func (s *System) AttachChecker() (*fault.Checker, error) {
+	cfg := fault.CheckerConfig{Mem: s.Mem, Kernel: s.Kernel}
+	switch m := s.Mem.(type) {
+	case *core.HybridMMU:
+		cfg.AllowSharedVirtual = s.cfg.Org == Enigma
+		for i := 0; i < s.cfg.Cores; i++ {
+			cfg.TLBs = append(cfg.TLBs, fault.NamedTLB{Name: fmt.Sprintf("syn-tlb%d", i), T: m.SynTLB(i)})
+		}
+		if d := m.DelayedTLB(); d != nil {
+			cfg.TLBs = append(cfg.TLBs, fault.NamedTLB{Name: "delayed-tlb", T: d})
+		}
+		cfg.Extra = []fault.Recon{{
+			Label: "hybrid false positives",
+			Stat:  func() uint64 { return m.FalsePositives.Value() },
+			Event: func(p *core.CountingProbe) uint64 { return p.FalsePositives },
+		}}
+	case *core.VirtHybridMMU:
+		cfg.TranslateGPA = s.VM.TranslateGPA
+		cfg.NestedWalks = true
+		cfg.Extra = []fault.Recon{{
+			Label: "virt-hybrid false positives",
+			Stat:  func() uint64 { return m.FalsePositives.Value() },
+			Event: func(p *core.CountingProbe) uint64 { return p.FalsePositives },
+		}}
+	case *baseline.OVC:
+		cfg.SplitL1 = true
+	case *baseline.Virt2D:
+		cfg.TranslateGPA = s.VM.TranslateGPA
+		cfg.NestedWalks = true
+	}
+	ch, err := fault.NewChecker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Mem.SetProbe(pipeline.Tee(s.Mem.Probe(), ch))
+	return ch, nil
+}
+
+// AttachFaults attaches a deterministic fault injector: it observes every
+// reference through the probe layer and also arms transient page-walk
+// failures through the pipeline's walk-fault hook. Attach a checker
+// FIRST (AttachChecker, or use InjectFaults) so its event counts are
+// current when the injector triggers a post-fault check.
+func (s *System) AttachFaults(cfg fault.Config) *fault.Injector {
+	inj := fault.NewInjector(cfg, s.Kernel)
+	if bh, ok := s.Mem.(core.BaseHolder); ok {
+		bh.BaseState().SetWalkFaulter(inj)
+	}
+	s.Mem.SetProbe(pipeline.Tee(s.Mem.Probe(), inj))
+	return inj
+}
+
+// InjectFaults attaches a checker-audited fault injector: every injected
+// fault is followed by a full invariant check, and the first violation is
+// retained on both the injector and the checker.
+func (s *System) InjectFaults(cfg fault.Config) (*fault.Injector, *fault.Checker, error) {
+	ch, err := s.AttachChecker()
+	if err != nil {
+		return nil, nil, err
+	}
+	inj := s.AttachFaults(cfg)
+	inj.SetChecker(ch)
+	return inj, ch, nil
 }
 
 // LoadWorkload instantiates the named workload's processes in the system.

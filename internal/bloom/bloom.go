@@ -107,6 +107,32 @@ func (f *Filter) Load(src *Filter) {
 // and for modelling the in-memory OS copy).
 func (f *Filter) Words() [FilterBits / 64]uint64 { return f.bits }
 
+// CorruptBit forces filter bit i to the given value, modelling a soft
+// error in the filter SRAM. It returns whether the bit changed. Setting a
+// bit can only widen the candidate set (extra false positives); clearing
+// one can introduce false negatives, so callers that clear bits must
+// rebuild the filter from the authoritative OS ranges before the filter is
+// consulted again (see osmodel.Kernel.RebuildFilter). It panics if i is
+// out of range — fault injectors pick bits from [0, FilterBits).
+func (f *Filter) CorruptBit(i uint64, set bool) bool {
+	if i >= FilterBits {
+		panic(fmt.Sprintf("bloom: corrupt bit %d out of range", i))
+	}
+	w, b := i/64, uint64(1)<<(i%64)
+	present := f.bits[w]&b != 0
+	if present == set {
+		return false
+	}
+	if set {
+		f.bits[w] |= b
+		f.popCount++
+	} else {
+		f.bits[w] &^= b
+		f.popCount--
+	}
+	return true
+}
+
 func (f *Filter) setBit(i uint64) {
 	w, b := i/64, i%64
 	if f.bits[w]&(1<<b) == 0 {

@@ -110,6 +110,17 @@ func (k *Kernel) ASIDs() []addr.ASID {
 	return out
 }
 
+// ShootdownPage broadcasts a TLB shootdown for (asid, vpn) without any
+// page-table change — the spurious-invalidation case real kernels hit when
+// batching or deduplicating shootdown IPIs conservatively. The translation
+// structures drop the entry and the next access re-walks the (unchanged)
+// page tables, so correctness is unaffected; fault injectors use it to
+// model shootdown storms.
+func (k *Kernel) ShootdownPage(asid addr.ASID, vpn uint64) {
+	k.sink.TLBShootdown(asid, vpn)
+	k.Shootdowns.Inc()
+}
+
 // sharedExtent is a refcounted physical extent backing a shared mapping.
 type sharedExtent struct {
 	frames uint64

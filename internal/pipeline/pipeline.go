@@ -57,6 +57,25 @@ type Result struct {
 // (demand paging, CoW break, cold segment fill).
 const FaultLatency = 3000
 
+// MaxWalkRetries bounds how many times a timed page walk is re-issued
+// after a transient (injected) walk failure before the walk gives up and
+// reports the in-memory page-table state as-is.
+const MaxWalkRetries = 3
+
+// WalkRetryLatency is the cycles charged per transient walk retry: the
+// walker detects the bad fetch (parity/poison) and re-issues the walk.
+const WalkRetryLatency = 50
+
+// WalkFaulter decides whether a timed page walk suffers a transient
+// failure (a soft error on a PTE fetch). The fault injector implements it;
+// with none installed the walk path pays only a nil-check.
+type WalkFaulter interface {
+	// FailWalk reports whether the next walk issued by core should fail
+	// transiently. It is consulted once per walk attempt, so a walk that
+	// retries asks again for each re-issue.
+	FailWalk(core int) bool
+}
+
 // Base bundles the pieces every memory system shares and the physical
 // access path they all use.
 type Base struct {
@@ -72,6 +91,12 @@ type Base struct {
 	// probe receives typed pipeline events; nil (the default) disables
 	// observability at the cost of one nil-check per emission site.
 	probe Probe
+
+	// walkFaulter injects transient page-walk failures; nil (the default)
+	// keeps the walk path allocation-free with a single nil-check.
+	walkFaulter WalkFaulter
+	// WalkRetries counts transient walk failures that were retried.
+	WalkRetries stats.Counter
 
 	// scratchMode routes hierarchy accesses through the allocation-free
 	// scratch variants. The Engine sets it for the duration of an
@@ -110,6 +135,12 @@ func (b *Base) Probe() Probe { return b.probe }
 // coherent event stream.
 func (b *Base) SetProbe(p Probe) { b.probe = p }
 
+// SetWalkFaulter attaches (or, with nil, detaches) a transient walk-fault
+// source. Organizations whose walks run through Base.TimedWalk see the
+// injected failures; designs with private walkers (OVC, virtualized 2D
+// walks) simply never consult it.
+func (b *Base) SetWalkFaulter(f WalkFaulter) { b.walkFaulter = f }
+
 // hierAccess routes one hierarchy access through the plain or scratch
 // variant by mode. Scratch results alias a hierarchy-owned writeback
 // buffer that the next access overwrites.
@@ -136,26 +167,41 @@ func (b *Base) PhysAccess(core int, kind cache.AccessKind, pa addr.PA, perm addr
 // TimedWalk performs a hardware page walk for (proc, va), fetching each
 // PTE through the cache hierarchy (so large caches absorb walk traffic).
 // It returns the leaf, the total latency, and whether the walk succeeded.
+//
+// When a WalkFaulter is attached, a walk attempt may fail transiently (a
+// soft error on a PTE fetch): the walker detects the bad fetch, charges
+// WalkRetryLatency, and re-issues the walk up to MaxWalkRetries times.
+// The page-table state itself is untouched, so a retried walk returns the
+// same leaf a clean walk would have — injected walk faults perturb timing
+// and walk traffic, never translation results.
 func (b *Base) TimedWalk(core int, proc *osmodel.Process, va addr.VA) (pte WalkLeaf, latency uint64, ok bool) {
-	b.Acc.Access(energy.PageWalk, 1)
-	path, leaf, found := proc.PT.WalkPath(va)
-	for _, slot := range path {
-		b.WalkSteps.Inc()
-		lat, _ := b.PhysAccess(core, cache.Read, slot, addr.PermRO)
-		latency += lat
+	for attempt := 0; ; attempt++ {
+		b.Acc.Access(energy.PageWalk, 1)
+		path, leaf, found := proc.PT.WalkPath(va)
+		for _, slot := range path {
+			b.WalkSteps.Inc()
+			lat, _ := b.PhysAccess(core, cache.Read, slot, addr.PermRO)
+			latency += lat
+		}
+		transient := b.walkFaulter != nil && attempt < MaxWalkRetries && b.walkFaulter.FailWalk(core)
+		if p := b.probe; p != nil {
+			p.Walk(WalkEvent{Core: core, Steps: len(path), OK: found && !transient})
+		}
+		if transient {
+			b.WalkRetries.Inc()
+			latency += WalkRetryLatency
+			continue
+		}
+		if !found {
+			return WalkLeaf{}, latency, false
+		}
+		return WalkLeaf{
+			Frame:  leaf.Frame,
+			Perm:   leaf.Perm,
+			Shared: leaf.Shared,
+			Huge:   leaf.Huge,
+		}, latency, true
 	}
-	if p := b.probe; p != nil {
-		p.Walk(WalkEvent{Core: core, Steps: len(path), OK: found})
-	}
-	if !found {
-		return WalkLeaf{}, latency, false
-	}
-	return WalkLeaf{
-		Frame:  leaf.Frame,
-		Perm:   leaf.Perm,
-		Shared: leaf.Shared,
-		Huge:   leaf.Huge,
-	}, latency, true
 }
 
 // WalkLeaf is the result of a page walk.

@@ -22,6 +22,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		DynamicEnergyPJ:     5432.1,
 		LLCMissRate:         0.125,
 		MemStallFraction:    0.25,
+		Interrupted:         true,
 	}
 
 	// Every field must actually carry a non-zero value, or the round trip

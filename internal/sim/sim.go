@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"hybridvc/internal/addr"
 	"hybridvc/internal/cache"
@@ -78,6 +79,12 @@ type Simulator struct {
 	ContextSwitches stats.Counter
 	// Retired counts instructions per core.
 	Retired []uint64
+
+	// stop is set asynchronously by Stop (e.g. from a signal handler);
+	// the run loop checks it between chunk rounds, so the simulator
+	// always quiesces at an access boundary with consistent statistics.
+	stop        atomic.Bool
+	interrupted bool
 
 	// Interval time-series state (cfg.Interval > 0 only). The collector
 	// probe is attached for the duration of Run and detached afterwards,
@@ -377,6 +384,13 @@ func (s *Simulator) Run(n uint64) Report {
 				s.nextBoundary += s.cfg.Interval
 			}
 		}
+		if s.stop.Load() {
+			// Quiesce at the chunk boundary: every issued access has
+			// retired, so the partial report and timeline are as valid as
+			// a completed run's — just shorter.
+			s.interrupted = true
+			break
+		}
 		if !progressed {
 			break
 		}
@@ -410,6 +424,10 @@ type Report struct {
 	// MemStallFraction is the fraction of cycles attributed to memory
 	// (averaged over active cores).
 	MemStallFraction float64 `json:"mem_stall_fraction"`
+	// Interrupted marks a report flushed from a run cut short by Stop:
+	// the statistics are consistent but cover fewer instructions than
+	// requested.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // finite maps the IEEE values encoding/json rejects (NaN, ±Inf) to 0 so
@@ -443,9 +461,18 @@ func (r Report) JSON() string {
 	return string(b)
 }
 
+// Stop asks the run loop to quiesce at the next chunk boundary and
+// return a valid partial report. It is safe to call from another
+// goroutine (typically a signal handler) at any time, including before
+// Run starts or after it returned.
+func (s *Simulator) Stop() { s.stop.Store(true) }
+
+// Interrupted reports whether the last Run was cut short by Stop.
+func (s *Simulator) Interrupted() bool { return s.interrupted }
+
 // Report builds the summary for the current state.
 func (s *Simulator) Report() Report {
-	r := Report{Name: s.memsys.Name()}
+	r := Report{Name: s.memsys.Name(), Interrupted: s.interrupted}
 	for c, cc := range s.cores {
 		if len(s.perCore[c]) == 0 {
 			continue

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"hybridvc/internal/baseline"
@@ -160,4 +161,38 @@ func TestNewPanicsWithoutGenerators(t *testing.T) {
 		}
 	}()
 	New(DefaultConfig(), ms, nil)
+}
+
+// TestStopFlushesPartialReport pins the interruption contract: Stop()
+// quiesces the simulator at a chunk boundary, and the resulting report
+// is a valid — just shorter — run marked Interrupted.
+func TestStopFlushesPartialReport(t *testing.T) {
+	s := newHybridSim(t, "stream", 1)
+	s.Stop() // request a stop before Run: quiesce after the first chunk
+	r := s.Run(1_000_000)
+	if !s.Interrupted() || !r.Interrupted {
+		t.Fatalf("Interrupted() = %v, report.Interrupted = %v after Stop",
+			s.Interrupted(), r.Interrupted)
+	}
+	if r.Instructions == 0 || r.Instructions >= 1_000_000 {
+		t.Errorf("partial run retired %d instructions, want (0, 1000000)", r.Instructions)
+	}
+	if r.Cycles == 0 || r.IPC <= 0 {
+		t.Errorf("partial report is not valid: %+v", r)
+	}
+	if !strings.Contains(r.JSON(), `"interrupted": true`) {
+		t.Error("JSON report does not carry the interrupted flag")
+	}
+}
+
+// TestCompletedReportOmitsInterrupted keeps existing JSON outputs
+// byte-stable: a run that finishes normally must not gain the field.
+func TestCompletedReportOmitsInterrupted(t *testing.T) {
+	r := newHybridSim(t, "stream", 1).Run(5000)
+	if r.Interrupted {
+		t.Fatal("completed run marked interrupted")
+	}
+	if strings.Contains(r.JSON(), "interrupted") {
+		t.Error("completed report JSON mentions interrupted")
+	}
 }

@@ -93,6 +93,19 @@ func (f *Filter) Clear() {
 	f.coarse.Clear()
 }
 
+// CorruptBit forces one bit of the fine or coarse Bloom filter to the
+// given value, modelling an SRAM soft error in the per-core filter
+// storage. It returns whether the bit changed. A cleared bit can produce
+// false negatives, which the design forbids — callers model the detected
+// soft error by rebuilding from the OS synonym ranges before the next
+// classification (see osmodel.Kernel.RebuildFilter).
+func (f *Filter) CorruptBit(coarse bool, bit uint64, set bool) bool {
+	if coarse {
+		return f.coarse.CorruptBit(bit, set)
+	}
+	return f.fine.CorruptBit(bit, set)
+}
+
 // Rebuild reconstructs the filter from the live synonym ranges, dropping
 // stale bits left by pages that transitioned back to private.
 func (f *Filter) Rebuild(ranges []Range) {

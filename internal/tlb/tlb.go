@@ -169,6 +169,18 @@ func (t *TLB) FlushAll() {
 	}
 }
 
+// ForEach calls fn for every valid entry (used by invariant checks that
+// compare cached translations against the authoritative page tables).
+func (t *TLB) ForEach(fn func(Entry)) {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			if t.sets[si][wi].Valid {
+				fn(t.sets[si][wi])
+			}
+		}
+	}
+}
+
 // Occupancy returns the number of valid entries.
 func (t *TLB) Occupancy() int {
 	n := 0

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 
@@ -46,16 +48,55 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzReaderNeverPanics hammers the reader with damaged streams. Two
+// properties must hold on every input: Next never panics, and every
+// terminating error is either a clean io.EOF (possible only at a record
+// boundary) or a typed *CorruptError — no untyped failures leak out.
+// The corpus seeds the damage classes corruption tests cover: torn
+// headers, mid-record truncations at every prefix of a small valid
+// trace, and single bit flips.
 func FuzzReaderNeverPanics(f *testing.F) {
 	f.Add([]byte("HVCT\x01\x01\x80\x80"))
 	f.Add([]byte("garbage"))
 	f.Add([]byte{})
+
+	// A small valid trace, hand-assembled so the seeds are deterministic:
+	// an ALU op, two memory ops (forward then backward delta), a store.
+	var valid bytes.Buffer
+	valid.Write(magic[:])
+	valid.WriteByte(0)
+	for _, delta := range []int64{0x4000, -0x1000, 0x40} {
+		var tmp [binary.MaxVarintLen64]byte
+		flags := byte(flagMem)
+		if delta == 0x40 {
+			flags |= flagStore
+		}
+		valid.WriteByte(flags)
+		valid.Write(tmp[:binary.PutVarint(tmp[:], delta)])
+	}
+	whole := valid.Bytes()
+	f.Add(whole)
+	for i := 1; i < len(whole); i++ { // every truncation point
+		f.Add(whole[:i])
+	}
+	for i := 0; i < len(whole); i++ { // a bit flip in every byte
+		flipped := bytes.Clone(whole)
+		flipped[i] ^= 1 << (i % 8)
+		f.Add(flipped)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		for i := 0; i < 1000; i++ {
-			if _, err := r.Next(); err != nil {
-				return // any error is fine; panics are not
+			_, err := r.Next()
+			if err == nil {
+				continue
 			}
+			var ce *CorruptError
+			if err != io.EOF && !errors.As(err, &ce) {
+				t.Fatalf("untyped error %v (%T): want io.EOF or *CorruptError", err, err)
+			}
+			return
 		}
 	})
 }

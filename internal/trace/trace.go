@@ -29,6 +29,10 @@ const (
 	flagDep        = 1 << 2
 	flagShared     = 1 << 3
 	flagMispredict = 1 << 4
+
+	// flagKnown masks every defined bit; anything outside it in a record
+	// can only come from corruption, since writers never set other bits.
+	flagKnown = flagMem | flagStore | flagDep | flagShared | flagMispredict
 )
 
 // Writer streams instructions into a trace.
@@ -92,35 +96,87 @@ func (t *Writer) Flush() error { return t.w.Flush() }
 
 // Reader replays a trace.
 type Reader struct {
-	r      *bufio.Reader
+	r      countingReader
 	lastVA uint64
 	n      uint64
 	header bool
 }
 
+// countingReader tracks the byte offset consumed from the stream so
+// corruption reports can point at the failing record.
+type countingReader struct {
+	r   *bufio.Reader
+	off uint64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += uint64(n)
+	return n, err
+}
+
 // NewReader creates a trace reader over r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	return &Reader{r: countingReader{r: bufio.NewReader(r)}}
 }
 
 // ErrBadMagic reports a stream that is not a trace.
 var ErrBadMagic = errors.New("trace: bad magic")
 
-// Next returns the next instruction, or io.EOF at the end of the trace.
+// CorruptError reports a malformed trace stream: a corrupt record, a
+// mid-record truncation, or a header that is not a trace at all. Offset
+// is the byte position where the bad record (or header) starts, so the
+// damage can be located in the file. Err, when non-nil, is the
+// underlying cause — ErrBadMagic or io.ErrUnexpectedEOF — reachable
+// through errors.Is. A clean io.EOF is returned ONLY at a record
+// boundary; every torn or inconsistent record surfaces as *CorruptError.
+type CorruptError struct {
+	Offset uint64 // byte offset of the record where corruption was detected
+	Reason string // human-readable diagnosis
+	Err    error  // underlying cause, if any
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("trace: corrupt record at byte %d: %s: %v", e.Offset, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("trace: corrupt record at byte %d: %s", e.Offset, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Next returns the next instruction, io.EOF at the end of the trace, or
+// a *CorruptError describing why the stream cannot be a valid trace.
 func (t *Reader) Next() (workload.Insn, error) {
 	if !t.header {
 		var got [5]byte
-		if _, err := io.ReadFull(t.r, got[:]); err != nil {
-			return workload.Insn{}, err
+		if _, err := io.ReadFull(&t.r, got[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return workload.Insn{}, &CorruptError{Reason: "truncated header", Err: err}
+			}
+			return workload.Insn{}, err // empty stream: clean EOF
 		}
 		if got != magic {
-			return workload.Insn{}, ErrBadMagic
+			return workload.Insn{}, &CorruptError{Reason: "not a trace", Err: ErrBadMagic}
 		}
 		t.header = true
 	}
+	start := t.r.off
 	flags, err := t.r.ReadByte()
 	if err != nil {
-		return workload.Insn{}, err
+		return workload.Insn{}, err // record boundary: clean EOF
+	}
+	if flags&^flagKnown != 0 {
+		return workload.Insn{}, &CorruptError{Offset: start,
+			Reason: fmt.Sprintf("undefined flag bits %#02x", flags&^flagKnown)}
 	}
 	in := workload.Insn{
 		IsMem:         flags&flagMem != 0,
@@ -130,15 +186,21 @@ func (t *Reader) Next() (workload.Insn, error) {
 		Mispredict:    flags&flagMispredict != 0,
 	}
 	if in.IsMem {
-		delta, err := binary.ReadVarint(t.r)
+		delta, err := binary.ReadVarint(&t.r)
 		if err != nil {
+			reason := "malformed address delta" // e.g. varint overflow
 			if err == io.EOF {
-				err = io.ErrUnexpectedEOF
+				err, reason = io.ErrUnexpectedEOF, "truncated record"
 			}
-			return workload.Insn{}, fmt.Errorf("trace: truncated record: %w", err)
+			return workload.Insn{}, &CorruptError{Offset: start, Reason: reason, Err: err}
 		}
-		t.lastVA += uint64(delta)
-		in.VA = addr.VA(t.lastVA)
+		va := t.lastVA + uint64(delta)
+		if va >= 1<<addr.VABits {
+			return workload.Insn{}, &CorruptError{Offset: start,
+				Reason: fmt.Sprintf("non-canonical virtual address %#x", va)}
+		}
+		t.lastVA = va
+		in.VA = addr.VA(va)
 	}
 	t.n++
 	return in, nil

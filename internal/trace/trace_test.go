@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
 
+	"hybridvc/internal/addr"
 	"hybridvc/internal/osmodel"
 	"hybridvc/internal/workload"
 )
@@ -58,8 +61,13 @@ func TestCompactEncoding(t *testing.T) {
 
 func TestBadMagic(t *testing.T) {
 	r := NewReader(strings.NewReader("NOTATRACE"))
-	if _, err := r.Next(); err != ErrBadMagic {
-		t.Errorf("err = %v, want ErrBadMagic", err)
+	_, err := r.Next()
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic through the chain", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Offset != 0 {
+		t.Errorf("err = %#v, want *CorruptError at offset 0", err)
 	}
 }
 
@@ -70,8 +78,9 @@ func TestTruncatedTrace(t *testing.T) {
 	if err := Capture(&buf, g, 100); err != nil {
 		t.Fatal(err)
 	}
-	// Chop the last bytes: reading to the end must yield a non-EOF error
-	// or a clean EOF at a record boundary, never a silent wrong record.
+	// Chop the last bytes: reading to the end must yield a typed corrupt-
+	// record error or a clean EOF at a record boundary, never a silent
+	// wrong record.
 	data := buf.Bytes()[:buf.Len()-2]
 	r := NewReader(bytes.NewReader(data))
 	var err error
@@ -82,6 +91,97 @@ func TestTruncatedTrace(t *testing.T) {
 	}
 	if err == io.EOF && r.Count() == 100 {
 		t.Error("truncated trace replayed completely")
+	}
+	if err != io.EOF {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("mid-record truncation yielded %v, want *CorruptError", err)
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("truncation cause %v, want io.ErrUnexpectedEOF", ce.Err)
+		}
+	}
+}
+
+// captureSmall returns a short valid trace for corruption tests.
+func captureSmall(t *testing.T, n uint64) []byte {
+	t.Helper()
+	k := osmodel.NewKernel(osmodel.Config{PhysBytes: 8 << 30})
+	g, err := workload.New(workload.Specs["mcf"], k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Capture(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readAll drains a reader and returns the terminating error.
+func readAll(data []byte) (uint64, error) {
+	r := NewReader(bytes.NewReader(data))
+	for {
+		if _, err := r.Next(); err != nil {
+			return r.Count(), err
+		}
+	}
+}
+
+// TestCorruptFlagByte proves an undefined flag bit — the cheapest way a
+// bit flip manifests — is reported as a CorruptError whose offset lands
+// inside the damaged region.
+func TestCorruptFlagByte(t *testing.T) {
+	data := captureSmall(t, 50)
+	pos := len(data) / 2
+	data[pos] |= 0x80 // no defined record sets the high flag bit
+
+	n, err := readAll(data)
+	if err == io.EOF && n == 50 {
+		t.Fatal("bit-flipped trace replayed completely")
+	}
+	if err != io.EOF {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("corruption yielded %v, want *CorruptError", err)
+		}
+		if ce.Offset < 5 || ce.Offset > uint64(len(data)) {
+			t.Errorf("offset %d outside the stream body [5, %d]", ce.Offset, len(data))
+		}
+	}
+}
+
+// TestTruncatedHeader proves a torn header (shorter than the magic) is
+// corrupt, not a clean EOF — only the empty stream gets io.EOF.
+func TestTruncatedHeader(t *testing.T) {
+	_, err := readAll([]byte("HVC"))
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("torn header yielded %v, want *CorruptError wrapping ErrUnexpectedEOF", err)
+	}
+}
+
+// TestNonCanonicalVAIsCorrupt proves a delta that walks the replay
+// cursor outside the canonical virtual address space is rejected: no
+// generator can have produced it, so the stream is damaged even though
+// the varint itself decodes.
+func TestNonCanonicalVAIsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(flagMem)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], int64(uint64(1)<<addr.VABits))
+	buf.Write(tmp[:n])
+
+	_, err := readAll(buf.Bytes())
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("non-canonical VA yielded %v, want *CorruptError", err)
+	}
+	if ce.Offset != uint64(len(magic)) {
+		t.Errorf("offset %d, want %d (start of the bad record)", ce.Offset, len(magic))
+	}
+	if !strings.Contains(ce.Reason, "non-canonical") {
+		t.Errorf("reason %q does not diagnose the address", ce.Reason)
 	}
 }
 
