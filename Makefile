@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci parity invariants fuzz-smoke bench bench-hotpath bench-check bench-all sweep sweep-full clean
+.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
 
 all: build
 
@@ -26,7 +26,31 @@ race:
 # Set BENCH_CHECK=1 to also gate hot-path throughput against the
 # committed BENCH_hotpath.json (off by default: benchmark wall time and
 # machine-to-machine variance don't belong in every CI run).
-ci: vet test race parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
+ci: vet staticcheck govulncheck test race service-race parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
+
+# service-race runs the hvcd service integration suite alone under the
+# race detector: concurrent clients submitting/watching/cancelling jobs
+# against a live worker pool is the most race-prone surface in the repo,
+# so it gets its own CI line even though `race` also covers it.
+service-race:
+	$(GO) test -race -count=1 ./internal/service/...
+
+# staticcheck/govulncheck run when the tools are installed and skip with a
+# notice otherwise — the build environment is intentionally hermetic (no
+# network, no toolchain downloads), so their absence must not fail ci.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck: not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # parity runs the golden refactor gate on its own: every organization's
 # full stat table must stay byte-identical to the recorded golden file,
@@ -68,11 +92,21 @@ bench-hotpath:
 bench-check:
 	TMP=$$(mktemp) && \
 	BENCH_HOTPATH_OUT=$$TMP $(GO) test -run=NONE -bench=BenchmarkHotPath -benchtime=1x . && \
-	$(GO) run ./cmd/benchcheck -base BENCH_hotpath.json -new $$TMP -threshold 0.10 && \
+	$(GO) run ./cmd/benchcheck -base BENCH_hotpath.json -new $$TMP -tolerance 0.10 && \
 	rm -f $$TMP
 
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# bench-service measures sustained job throughput through the daemon:
+# start hvcd on a scratch port, drive it with `hvcctl bench` (fresh phase
+# then cache-served phase), record BENCH_service.json, shut down.
+bench-service: build
+	$(GO) build -o /tmp/hvcd ./cmd/hvcd && $(GO) build -o /tmp/hvcctl ./cmd/hvcctl
+	/tmp/hvcd -addr 127.0.0.1:8078 -quiet & HVCD=$$!; \
+	sleep 1; \
+	/tmp/hvcctl -addr http://127.0.0.1:8078 bench -c 8 -n 32 -out BENCH_service.json; \
+	RC=$$?; kill $$HVCD 2>/dev/null; exit $$RC
 
 # sweep regenerates every table/figure at Quick scale on all cores;
 # sweep-full runs the paper-length windows.

@@ -3,9 +3,14 @@
 // and exits non-zero when any organization's batched throughput dropped
 // by more than the threshold.
 //
+// The allowed regression is the -tolerance flag (default 0.10 = 10%), so
+// gates with different noise floors — the hot-path microbenchmark vs the
+// service throughput benchmark — can run the same checker with different
+// slack. -threshold is the deprecated alias of -tolerance.
+//
 // Usage (see `make bench-check`):
 //
-//	benchcheck -base BENCH_hotpath.json -new /tmp/fresh.json -threshold 0.10
+//	benchcheck -base BENCH_hotpath.json -new /tmp/fresh.json -tolerance 0.10
 package main
 
 import (
@@ -13,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"hybridvc/internal/buildinfo"
 )
 
 // benchFile mirrors the subset of BENCH_hotpath.json the check reads.
@@ -28,13 +35,21 @@ type benchRow struct {
 func main() {
 	base := flag.String("base", "BENCH_hotpath.json", "recorded baseline results")
 	fresh := flag.String("new", "", "freshly measured results to check")
-	threshold := flag.Float64("threshold", 0.10, "max allowed fractional regression per organization")
+	tolerance := flag.Float64("tolerance", 0.10, "max allowed fractional regression per organization (0 <= t < 1)")
+	threshold := flag.Float64("threshold", 0.10, "deprecated alias of -tolerance")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag(version, "benchcheck")
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -new is required")
 		os.Exit(2)
 	}
-	regressions, err := check(*base, *fresh, *threshold)
+	tol, err := pickTolerance(*tolerance, *threshold, flagsSet())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	regressions, err := check(*base, *fresh, tol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
@@ -45,7 +60,32 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Println("benchcheck: ok — no organization regressed beyond the threshold")
+	fmt.Println("benchcheck: ok — no organization regressed beyond the tolerance")
+}
+
+// flagsSet reports which flags were given explicitly.
+func flagsSet() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// pickTolerance resolves -tolerance against its deprecated -threshold
+// alias and validates the result: a tolerance below 0 would fail every
+// run, and 1 or above would pass any regression including a drop to
+// zero, so both are rejected rather than silently gating nothing.
+func pickTolerance(tolerance, threshold float64, set map[string]bool) (float64, error) {
+	if set["tolerance"] && set["threshold"] && tolerance != threshold {
+		return 0, fmt.Errorf("-tolerance %v and -threshold %v disagree; drop the deprecated -threshold", tolerance, threshold)
+	}
+	tol := tolerance
+	if set["threshold"] && !set["tolerance"] {
+		tol = threshold
+	}
+	if tol < 0 || tol >= 1 {
+		return 0, fmt.Errorf("-tolerance %v out of range: want 0 <= t < 1 (fraction of baseline throughput)", tol)
+	}
+	return tol, nil
 }
 
 // check compares the fresh batch throughput of every baseline organization

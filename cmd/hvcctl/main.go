@@ -1,0 +1,389 @@
+// Command hvcctl is the thin CLI over the hvcd daemon API: submit jobs,
+// watch them to completion, stream timelines, cancel, introspect the
+// catalogs, and load-test the daemon.
+//
+// Usage:
+//
+//	hvcctl [-addr URL] submit -org hybrid-manyseg+sc -workloads gups,mcf -insns 200000 [-wait]
+//	hvcctl [-addr URL] submit -sweep fig9 [-full] [-wait]
+//	hvcctl [-addr URL] status <job-id>
+//	hvcctl [-addr URL] watch <job-id>
+//	hvcctl [-addr URL] timeline <job-id>
+//	hvcctl [-addr URL] cancel <job-id>
+//	hvcctl [-addr URL] jobs | orgs | experiments | health | metrics
+//	hvcctl [-addr URL] bench -c 8 -n 64 [-insns 50000] [-out BENCH_service.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hybridvc/internal/buildinfo"
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/client"
+	"hybridvc/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8077", "hvcd base URL")
+	version := buildinfo.Flag()
+	flag.Usage = usage
+	flag.Parse()
+	buildinfo.HandleFlag(version, "hvcctl")
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := client.New(*addr, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, args)
+	case "status":
+		err = cmdStatus(ctx, c, args)
+	case "watch":
+		err = cmdWatch(ctx, c, args)
+	case "timeline":
+		err = cmdTimeline(ctx, c, args)
+	case "cancel":
+		err = cmdCancel(ctx, c, args)
+	case "jobs":
+		err = cmdJobs(ctx, c)
+	case "orgs":
+		err = cmdOrgs(ctx, c)
+	case "experiments":
+		err = cmdExperiments(ctx, c)
+	case "health":
+		err = cmdHealth(ctx, c)
+	case "metrics":
+		err = cmdMetrics(ctx, c)
+	case "bench":
+		err = cmdBench(ctx, c, args)
+	default:
+		fmt.Fprintf(os.Stderr, "hvcctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `hvcctl — client for the hvcd simulation daemon
+
+usage: hvcctl [-addr URL] <command> [args]
+
+commands:
+  submit       submit a sim job (-org, -workloads, -insns, ...) or sweep (-sweep <experiment>)
+  status       print one job's status and report
+  watch        poll a job until it finishes, then print the report
+  timeline     stream a job's NDJSON interval time-series
+  cancel       cancel a job
+  jobs         list jobs
+  orgs         list organizations and workloads
+  experiments  list registered experiments
+  health       daemon health
+  metrics      daemon counters
+  bench        load-generate and record sustained jobs/sec
+`)
+}
+
+// cmdSubmit submits one job built from flags; -wait watches it to
+// completion and prints the final report.
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	org := fs.String("org", "", "organization (sim jobs; default hybrid-manyseg+sc)")
+	wls := fs.String("workloads", "", "comma-separated workload names (default gups)")
+	insns := fs.Uint64("insns", 0, "instructions per core (default 200000)")
+	cores := fs.Int("cores", 0, "hardware cores (default 1)")
+	llc := fs.Int("llc", 0, "LLC bytes override")
+	seed := fs.Int64("seed", 0, "workload seed (default 1)")
+	interval := fs.Uint64("interval", 0, "timeline interval in instructions (default 10000)")
+	sweep := fs.String("sweep", "", "submit a sweep of this experiment instead of a sim job")
+	full := fs.Bool("full", false, "sweep at full (paper-length) scale")
+	wait := fs.Bool("wait", false, "wait for completion and print the result")
+	fs.Parse(args)
+
+	spec := service.JobSpec{}
+	if *sweep != "" {
+		spec.Kind = service.KindSweep
+		spec.Experiment = *sweep
+		if *full {
+			spec.Scale = "full"
+		}
+	} else {
+		spec.Org = *org
+		spec.Instructions = *insns
+		spec.Cores = *cores
+		spec.LLCBytes = *llc
+		spec.Seed = *seed
+		spec.Interval = *interval
+		for _, w := range strings.Split(*wls, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				spec.Workloads = append(spec.Workloads, w)
+			}
+		}
+	}
+	resp, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s  state=%s  cached=%v  deduped=%v  key=%.16s…\n",
+		resp.ID, resp.State, resp.Cached, resp.Deduped, resp.Key)
+	if !*wait {
+		return nil
+	}
+	return watchAndPrint(ctx, c, resp.ID)
+}
+
+func oneArg(args []string, cmd string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("%s needs exactly one job id", cmd)
+	}
+	return args[0], nil
+}
+
+func printStatus(st service.JobStatus) {
+	b, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(b))
+}
+
+func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
+	id, err := oneArg(args, "status")
+	if err != nil {
+		return err
+	}
+	st, err := c.Job(ctx, id)
+	if err != nil {
+		return err
+	}
+	printStatus(st)
+	return nil
+}
+
+func watchAndPrint(ctx context.Context, c *client.Client, id string) error {
+	st, err := c.Watch(ctx, id, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printStatus(st)
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s finished %s: %s", id, st.State, st.Error)
+	}
+	return nil
+}
+
+func cmdWatch(ctx context.Context, c *client.Client, args []string) error {
+	id, err := oneArg(args, "watch")
+	if err != nil {
+		return err
+	}
+	return watchAndPrint(ctx, c, id)
+}
+
+func cmdTimeline(ctx context.Context, c *client.Client, args []string) error {
+	id, err := oneArg(args, "timeline")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return c.Timeline(ctx, id, true, func(iv stats.Interval) error {
+		return enc.Encode(iv)
+	})
+}
+
+func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
+	id, err := oneArg(args, "cancel")
+	if err != nil {
+		return err
+	}
+	if err := c.Cancel(ctx, id); err != nil {
+		return err
+	}
+	fmt.Printf("job %s canceling\n", id)
+	return nil
+}
+
+func cmdJobs(ctx context.Context, c *client.Client) error {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		kind := j.Spec.Kind
+		what := j.Spec.Org
+		if kind == service.KindSweep {
+			what = j.Spec.Experiment
+		}
+		fmt.Printf("%-8s %-9s %-6s %-18s cached=%-5v intervals=%d\n",
+			j.ID, j.State, kind, what, j.Cached, j.Intervals)
+	}
+	return nil
+}
+
+func cmdOrgs(ctx context.Context, c *client.Client) error {
+	cat, err := c.Orgs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("organizations:")
+	for _, o := range cat.Organizations {
+		virt := ""
+		if o.Virtualized {
+			virt = " (virtualized)"
+		}
+		fmt.Printf("  %s%s\n", o.Name, virt)
+	}
+	fmt.Println("workloads:")
+	for _, w := range cat.Workloads {
+		fmt.Printf("  %-11s %6.1f MiB  %d proc(s)  %.12s…\n",
+			w.Name, float64(w.Bytes)/(1<<20), w.Procs, w.Digest)
+	}
+	return nil
+}
+
+func cmdExperiments(ctx context.Context, c *client.Client) error {
+	exps, err := c.Experiments(ctx)
+	if err != nil {
+		return err
+	}
+	for _, e := range exps {
+		fmt.Printf("%-14s %s\n", e.Name, e.Description)
+	}
+	return nil
+}
+
+func cmdHealth(ctx context.Context, c *client.Client) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status=%s version=%q jobs=%d draining=%v\n", h.Status, h.Version, h.Jobs, h.Draining)
+	return nil
+}
+
+func cmdMetrics(ctx context.Context, c *client.Client) error {
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	b, _ := json.MarshalIndent(m, "", "  ")
+	fmt.Println(string(b))
+	return nil
+}
+
+// benchResult is the BENCH_service.json schema: sustained jobs/sec for
+// fresh (simulating) and cached (content-addressed hit) submissions.
+type benchResult struct {
+	Clients          int     `json:"clients"`
+	Jobs             int     `json:"jobs"`
+	Instructions     uint64  `json:"instructions_per_job"`
+	FreshSeconds     float64 `json:"fresh_seconds"`
+	FreshJobsPerSec  float64 `json:"fresh_jobs_per_sec"`
+	CachedSeconds    float64 `json:"cached_seconds"`
+	CachedJobsPerSec float64 `json:"cached_jobs_per_sec"`
+	CacheHits        uint64  `json:"cache_hits"`
+	Simulated        uint64  `json:"simulated"`
+}
+
+// cmdBench load-generates: c concurrent clients push n unique sim jobs
+// (distinct seeds) and wait for completion, then resubmit the identical
+// specs to measure the content-addressed cache path. Sustained jobs/sec
+// for both phases lands in -out.
+func cmdBench(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	conc := fs.Int("c", 8, "concurrent clients")
+	n := fs.Int("n", 32, "total jobs")
+	insns := fs.Uint64("insns", 50_000, "instructions per job")
+	org := fs.String("org", "hybrid-manyseg+sc", "organization")
+	out := fs.String("out", "BENCH_service.json", "result file")
+	fs.Parse(args)
+	if *conc < 1 || *n < 1 {
+		return fmt.Errorf("bench: -c and -n must be positive")
+	}
+
+	specs := make([]service.JobSpec, *n)
+	for i := range specs {
+		specs[i] = service.JobSpec{
+			Org:          *org,
+			Workloads:    []string{"gups"},
+			Instructions: *insns,
+			Seed:         int64(i + 1), // unique seed → unique cache key
+		}
+	}
+
+	run := func(phase string) (float64, error) {
+		var next atomic.Int64
+		var firstErr atomic.Value
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < *conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) || ctx.Err() != nil {
+						return
+					}
+					resp, err := c.SubmitWait(ctx, specs[i])
+					if err == nil {
+						_, err = c.Watch(ctx, resp.ID, 20*time.Millisecond)
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return 0, fmt.Errorf("bench %s phase: %w", phase, err)
+		}
+		return time.Since(start).Seconds(), ctx.Err()
+	}
+
+	fresh, err := run("fresh")
+	if err != nil {
+		return err
+	}
+	cached, err := run("cached")
+	if err != nil {
+		return err
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	res := benchResult{
+		Clients: *conc, Jobs: *n, Instructions: *insns,
+		FreshSeconds: fresh, FreshJobsPerSec: float64(*n) / fresh,
+		CachedSeconds: cached, CachedJobsPerSec: float64(*n) / cached,
+		CacheHits: m.CacheHits, Simulated: m.Simulated,
+	}
+	b, _ := json.MarshalIndent(res, "", "  ")
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d jobs × %d insns, %d clients: fresh %.1f jobs/s, cached %.1f jobs/s → %s\n",
+		*n, *insns, *conc, res.FreshJobsPerSec, res.CachedJobsPerSec, *out)
+	return nil
+}

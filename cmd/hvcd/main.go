@@ -1,0 +1,112 @@
+// Command hvcd is the simulation-as-a-service daemon: a long-running
+// HTTP server that accepts simulation and sweep jobs, schedules them on
+// a bounded worker pool, and serves repeated submissions of the same
+// configuration from a content-addressed result cache instead of
+// re-simulating.
+//
+// API (see DESIGN.md §10):
+//
+//	POST   /v1/jobs               submit a job (dedup via cache key)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          status + report
+//	GET    /v1/jobs/{id}/timeline streamed NDJSON interval time-series
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/orgs               organization + workload catalog
+//	GET    /v1/experiments        experiment registry
+//	GET    /healthz, /metrics     liveness and counters
+//
+// SIGTERM/SIGINT drains gracefully: submissions are refused, running
+// simulations quiesce at a chunk boundary, running sweeps checkpoint
+// completed cells into the spool dir (resubmitting the same spec after a
+// restart resumes), and the process exits once the workers finish or the
+// drain timeout expires.
+//
+// Usage:
+//
+//	hvcd -addr :8077 -workers 4 -queue 64 -rate 50
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridvc/internal/buildinfo"
+	"hybridvc/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "job worker pool size (<= 0 means GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "pending-job queue depth (full queue answers 429)")
+	cacheEntries := flag.Int("cache", 1024, "content-addressed result cache entries")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 10, "per-client submission burst")
+	cellTimeout := flag.Duration("cell-timeout", 0, "abandon a job cell attempt after this long (0 = unbounded)")
+	retries := flag.Int("retries", 0, "re-run transiently failed cells up to this many times")
+	backoff := flag.Duration("retry-backoff", 0, "base pause between retry attempts (default 100ms)")
+	spool := flag.String("spool", "", "sweep checkpoint spool directory (default: per-process temp dir)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	version := buildinfo.Flag()
+	flag.Parse()
+	buildinfo.HandleFlag(version, "hvcd")
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	srv, err := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		RatePerSec:   *rate,
+		RateBurst:    *burst,
+		CellTimeout:  *cellTimeout,
+		Retries:      *retries,
+		RetryBackoff: *backoff,
+		SpoolDir:     *spool,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcd:", err)
+		os.Exit(1)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	log.Printf("hvcd %s listening on %s", buildinfo.Version(), *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "hvcd:", err)
+		os.Exit(1)
+	case sig := <-sigs:
+		log.Printf("hvcd: %v — draining (max %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "hvcd: shutdown:", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "hvcd:", drainErr)
+		os.Exit(1)
+	}
+	log.Printf("hvcd: drained cleanly")
+}

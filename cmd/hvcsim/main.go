@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"hybridvc"
+	"hybridvc/internal/buildinfo"
 	"hybridvc/internal/sim"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/workload"
@@ -145,7 +146,9 @@ func main() {
 	timeline := flag.String("timeline", "", "write the interval time-series to this file (.csv = CSV, else NDJSON)")
 	interval := flag.Uint64("interval", 0, "instructions per time-series interval (0 = 10000 when -timeline/-metrics-addr is set)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live expvar metrics on this address (e.g. :8080) during the run")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag(version, "hvcsim")
 
 	if *list {
 		fmt.Println("organizations:")

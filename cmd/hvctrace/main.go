@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"hybridvc/internal/buildinfo"
 	"hybridvc/internal/osmodel"
 	"hybridvc/internal/trace"
 	"hybridvc/internal/workload"
@@ -27,7 +28,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	info := flag.String("info", "", "trace file to summarize")
 	dump := flag.Int("dump", 0, "print the first n decoded records of the trace file argument")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag(version, "hvctrace")
 
 	switch {
 	case *capture != "":

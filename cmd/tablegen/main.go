@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hybridvc/experiments"
+	"hybridvc/internal/buildinfo"
 	"hybridvc/internal/stats"
 )
 
@@ -39,7 +40,9 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "abandon a sweep cell attempt after this long (0 = unbounded)")
 	retries := flag.Int("retries", 0, "re-run a cell after a transient failure up to this many times")
 	backoff := flag.Duration("retry-backoff", 0, "base pause between retry attempts (default 100ms)")
+	version := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.HandleFlag(version, "tablegen")
 
 	if *list {
 		for _, e := range experiments.All() {

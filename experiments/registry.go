@@ -27,18 +27,31 @@ var (
 	byName   = map[string]Experiment{}
 )
 
-// Register adds an experiment to the registry. Registration order is the
-// canonical `-exp all` execution order. It panics on duplicate or empty
-// names: the registry is assembled once, below, at init time.
-func Register(e Experiment) {
+// Add adds an experiment to the registry. Registration order is the
+// canonical `-exp all` execution order. A duplicate name is rejected
+// with an error — never silently overwritten, which would reorder or
+// replace an experiment every other caller can already see — as is a
+// missing name or Run function.
+func Add(e Experiment) error {
 	if e.Name == "" || e.Run == nil {
-		panic("experiments: Register needs a name and a Run function")
+		return fmt.Errorf("experiments: Add needs a name and a Run function")
 	}
 	if _, dup := byName[e.Name]; dup {
-		panic(fmt.Sprintf("experiments: duplicate experiment %q", e.Name))
+		return fmt.Errorf("experiments: duplicate experiment %q", e.Name)
 	}
 	registry = append(registry, e)
 	byName[e.Name] = e
+	return nil
+}
+
+// Register adds an experiment and panics on error. It is the init-time
+// form: the built-in registry is assembled once, below, where a bad
+// entry is a programming error; dynamic registration should use Add and
+// handle the error.
+func Register(e Experiment) {
+	if err := Add(e); err != nil {
+		panic(err)
+	}
 }
 
 // Lookup returns the named experiment.

@@ -200,20 +200,77 @@ func snapshotKnobs() (ctx context.Context, timeout time.Duration, retries int, b
 	return ctx, cellTimeout, retryMax, retryBackoff, checkpointPath
 }
 
-// runCells executes the cells on a pool of Jobs() workers and returns
+// RunOptions carries the per-sweep resilience configuration for RunCells
+// callers that cannot use the package-level knobs (long-running services
+// executing many independent sweeps concurrently: the globals are
+// process-wide, so two concurrent jobs would trample each other's
+// context). The zero value means: never cancelled, unbounded cells, no
+// retries, no checkpoint.
+type RunOptions struct {
+	// Ctx cancels the sweep (nil = background).
+	Ctx context.Context
+	// CellTimeout bounds each cell attempt (<= 0 = unbounded).
+	CellTimeout time.Duration
+	// Retries re-runs transiently failed cells up to this many times,
+	// with linear Backoff between attempts (Backoff <= 0 = 100ms).
+	Retries int
+	Backoff time.Duration
+	// Checkpoint journals completed cells to this NDJSON path and
+	// resumes from it ("" = disabled), exactly like SetCheckpoint.
+	Checkpoint string
+}
+
+// RunCellsWith executes the cells on a pool of Jobs() workers with
+// explicit per-call options and returns their results in input order —
+// the reentrant form of the sweep runner used by the service daemon,
+// where every job needs its own cancellation context and checkpoint
+// journal. Failure semantics match the package-level path: panics become
+// transient errors, failed slots keep a nil Value, and all failures are
+// joined into the returned error.
+func RunCellsWith(cells []Cell, opts RunOptions) ([]CellResult, error) {
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	return runCellsOpts(cells, opts)
+}
+
+// RunCells executes the cells under the package-level resilience knobs
+// (SetContext, SetRetry, SetCellTimeout, SetCheckpoint) — the same path
+// every built-in experiment sweeps through. Experiments registered
+// dynamically with Add should run their cells through this so tablegen
+// flags and the service daemon's per-sweep knob window apply to them
+// too.
+func RunCells(cells []Cell) ([]CellResult, error) { return runCells(cells) }
+
+// runCells is the package-level entry: it snapshots the Set* knobs into
+// options once per sweep, so changing a knob mid-sweep affects only
+// subsequent runs.
+func runCells(cells []Cell) ([]CellResult, error) {
+	ctx, timeout, retries, backoff, ckpt := snapshotKnobs()
+	return runCellsOpts(cells, RunOptions{
+		Ctx: ctx, CellTimeout: timeout, Retries: retries,
+		Backoff: backoff, Checkpoint: ckpt,
+	})
+}
+
+// runCellsOpts executes the cells on a pool of Jobs() workers and returns
 // their results in input order. A cell that fails — via returned error or
 // recovered panic — leaves its slot's Value nil; all failures are joined
 // into the returned error. Because results are index-slotted and cells
 // are isolated, the output is identical for any worker count, and a
 // checkpointed sweep resumed after an interruption reaches the same
 // final results as an uninterrupted one.
-func runCells(cells []Cell) ([]CellResult, error) {
+func runCellsOpts(cells []Cell, opts RunOptions) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
 	cellErrs := make([]error, len(cells))
 	if len(cells) == 0 {
 		return results, nil
 	}
-	ctx, timeout, retries, backoff, ckptPath := snapshotKnobs()
+	ctx, timeout, retries, backoff, ckptPath :=
+		opts.Ctx, opts.CellTimeout, opts.Retries, opts.Backoff, opts.Checkpoint
 
 	restored := make([]bool, len(cells))
 	var ckpt *checkpoint

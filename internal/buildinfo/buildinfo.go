@@ -1,0 +1,80 @@
+// Package buildinfo exposes one version string shared by every command
+// in the module, populated from the Go build metadata stamped into the
+// binary (module version, VCS revision and dirty flag). Commands add a
+// uniform `-version` flag via Flag and print through Print, so the six
+// binaries cannot drift in how they report what they were built from.
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// read is swapped by tests to exercise the formatting without a real
+// build-info section.
+var read = debug.ReadBuildInfo
+
+// Version renders the build identity: the module version when stamped
+// (release builds), otherwise the VCS revision (short) with a "-dirty"
+// suffix for modified trees, otherwise "(devel)". The Go toolchain
+// version is always appended.
+func Version() string {
+	bi, ok := read()
+	if !ok {
+		return fmt.Sprintf("unknown (%s)", runtime.Version())
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		if rev, dirty := vcs(bi); rev != "" {
+			v = rev
+			if dirty {
+				v += "-dirty"
+			}
+		} else {
+			v = "(devel)"
+		}
+	}
+	return fmt.Sprintf("%s (%s)", v, runtime.Version())
+}
+
+// vcs extracts the short VCS revision and dirty flag from the build
+// settings, when the binary was built inside a checkout.
+func vcs(bi *debug.BuildInfo) (rev string, dirty bool) {
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
+
+// Print writes "<cmd> <version>" to w.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, Version())
+}
+
+// Flag registers a `-version` flag on the default flag set. Call it
+// before flag.Parse, then HandleFlag after: when the flag was given the
+// command prints its version to stdout and exits 0 before doing any
+// work.
+func Flag() *bool {
+	return flag.Bool("version", false, "print the build version and exit")
+}
+
+// HandleFlag prints the version and exits when requested was set.
+func HandleFlag(requested *bool, cmd string) {
+	if requested != nil && *requested {
+		Print(os.Stdout, cmd)
+		os.Exit(0)
+	}
+}

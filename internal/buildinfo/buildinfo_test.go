@@ -1,0 +1,59 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// fake installs a fake build-info reader for the duration of the test.
+func fake(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	prev := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = prev })
+}
+
+func TestVersionNoBuildInfo(t *testing.T) {
+	fake(t, nil, false)
+	if v := Version(); !strings.HasPrefix(v, "unknown") {
+		t.Errorf("Version() = %q, want unknown prefix", v)
+	}
+}
+
+func TestVersionModuleStamped(t *testing.T) {
+	fake(t, &debug.BuildInfo{Main: debug.Module{Version: "v1.2.3"}}, true)
+	if v := Version(); !strings.HasPrefix(v, "v1.2.3 (") {
+		t.Errorf("Version() = %q, want v1.2.3 prefix", v)
+	}
+}
+
+func TestVersionVCSFallback(t *testing.T) {
+	fake(t, &debug.BuildInfo{
+		Main: debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	v := Version()
+	if !strings.HasPrefix(v, "0123456789ab-dirty (") {
+		t.Errorf("Version() = %q, want short dirty revision", v)
+	}
+}
+
+func TestVersionDevelWithoutVCS(t *testing.T) {
+	fake(t, &debug.BuildInfo{}, true)
+	if v := Version(); !strings.HasPrefix(v, "(devel) (") {
+		t.Errorf("Version() = %q, want (devel) prefix", v)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	fake(t, &debug.BuildInfo{Main: debug.Module{Version: "v0.9.0"}}, true)
+	var sb strings.Builder
+	Print(&sb, "hvcd")
+	if got := sb.String(); !strings.HasPrefix(got, "hvcd v0.9.0") {
+		t.Errorf("Print wrote %q", got)
+	}
+}

@@ -1,0 +1,258 @@
+// Package client is the reusable Go client for the hvcd daemon's HTTP
+// API. cmd/hvcctl is a thin CLI over it; tests and load generators use
+// it directly.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybridvc/internal/service"
+	"hybridvc/internal/stats"
+)
+
+// Client talks to one hvcd base URL (e.g. "http://localhost:8077").
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client. A nil httpClient uses http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response, carrying the server's error message
+// and any Retry-After hint.
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hvcd: %d: %s", e.StatusCode, e.Message)
+}
+
+// IsRetryable reports whether the submission should simply be retried
+// later: queue backpressure or rate limiting.
+func (e *APIError) IsRetryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests
+}
+
+// do issues a request and decodes a JSON body into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var e service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+		apiErr.Message = e.Error
+	} else {
+		apiErr.Message = resp.Status
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Submit posts a job spec and returns the daemon's scheduling decision.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.SubmitResponse, error) {
+	var out service.SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out)
+	return out, err
+}
+
+// SubmitWait submits with bounded retries on backpressure (429): it
+// honours Retry-After and gives up when ctx expires. Non-retryable
+// errors return immediately.
+func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (service.SubmitResponse, error) {
+	for {
+		out, err := c.Submit(ctx, spec)
+		apiErr, ok := err.(*APIError)
+		if err == nil || !ok || !apiErr.IsRetryable() {
+			return out, err
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = 100 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Job fetches one job's status (including the report once done).
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var out service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Jobs lists all jobs known to the daemon (reports elided).
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Watch polls the job until it reaches a terminal state and returns the
+// final status. poll <= 0 defaults to 100ms.
+func (c *Client) Watch(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case service.StateDone, service.StateFailed, service.StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Timeline streams the job's NDJSON interval time-series, invoking fn
+// for each interval as it arrives. With follow, the stream tracks a
+// running job until it finishes; otherwise it returns the intervals
+// recorded so far. A non-nil error from fn aborts the stream.
+func (c *Client) Timeline(ctx context.Context, id string, follow bool, fn func(stats.Interval) error) error {
+	url := c.base + "/v1/jobs/" + id + "/timeline"
+	if !follow {
+		url += "?follow=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var iv stats.Interval
+		if err := json.Unmarshal(line, &iv); err != nil {
+			return fmt.Errorf("timeline: bad interval line: %w", err)
+		}
+		if err := fn(iv); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Orgs fetches the organization and workload catalog.
+func (c *Client) Orgs(ctx context.Context) (service.CatalogResponse, error) {
+	var out service.CatalogResponse
+	err := c.do(ctx, http.MethodGet, "/v1/orgs", nil, &out)
+	return out, err
+}
+
+// Experiments fetches the experiment registry listing.
+func (c *Client) Experiments(ctx context.Context) ([]service.ExperimentInfo, error) {
+	var out []service.ExperimentInfo
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// Health fetches /healthz. A draining daemon answers 503 but still
+// reports its body, so that case is not an error here.
+func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return service.HealthResponse{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out service.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Metrics fetches /metrics and returns the daemon's own counter block.
+func (c *Client) Metrics(ctx context.Context) (service.MetricsSnapshot, error) {
+	var all map[string]json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &all); err != nil {
+		return service.MetricsSnapshot{}, err
+	}
+	var out service.MetricsSnapshot
+	raw, ok := all["hvcd"]
+	if !ok {
+		return out, fmt.Errorf("metrics: no hvcd block in response")
+	}
+	err := json.Unmarshal(raw, &out)
+	return out, err
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"hybridvc/internal/stats"
+)
+
+// Job states. A job moves queued → running → one of the terminal states;
+// a deduplicated or cache-served submission is born done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// Job is one scheduled unit of work. All mutable fields are guarded by
+// mu; the HTTP handlers, the worker running the job, and the streaming
+// endpoint all touch jobs concurrently.
+type Job struct {
+	// ID and Key are immutable after creation.
+	ID  string
+	Key string
+
+	// Spec is the normalized spec (immutable after creation).
+	Spec JobSpec
+
+	// cancel aborts the job's context; done closes when the job reaches
+	// a terminal state (watchers and the streaming endpoint select on it).
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu         sync.Mutex
+	state      string
+	errMsg     string
+	reportJSON []byte
+	tables     []string
+	cached     bool
+	checkpoint string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	tl         *stats.Timeline
+}
+
+// newJob creates a queued job with its own cancellation context,
+// parented on the server lifetime rather than any HTTP request: the
+// submitting connection may vanish while the job runs.
+func newJob(id, key string, spec JobSpec, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		ID: id, Key: key, Spec: spec,
+		ctx: ctx, cancel: cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation. It is idempotent and a no-op once the
+// job is terminal.
+func (j *Job) Cancel() { j.cancel() }
+
+// State returns the current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// timeline returns the live (or cached) timeline, which may be nil
+// before the simulation constructs it and for sweep jobs.
+func (j *Job) timeline() *stats.Timeline {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tl
+}
+
+// setTimeline publishes the timeline for streaming readers. The worker
+// calls it as soon as the simulator exists, before the run starts.
+func (j *Job) setTimeline(tl *stats.Timeline) {
+	j.mu.Lock()
+	j.tl = tl
+	j.mu.Unlock()
+}
+
+// start transitions queued → running. It returns false when the job was
+// already cancelled (the worker then finalizes it without running).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	if j.ctx.Err() != nil {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once, recording the
+// outcome and waking watchers. Later calls are ignored.
+func (j *Job) finish(state string, report []byte, tables []string, errMsg string) {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.reportJSON = report
+	j.tables = tables
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context watcher; idempotent
+	close(j.done)
+}
+
+// finishCached marks a freshly created job done with a cache-served
+// result (it was never queued).
+func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval) {
+	tl := &stats.Timeline{}
+	for _, iv := range intervals {
+		tl.Append(iv)
+	}
+	j.mu.Lock()
+	j.cached = true
+	j.tl = tl
+	j.created = time.Now()
+	j.mu.Unlock()
+	j.finish(StateDone, report, tables, "")
+}
+
+// setCheckpoint records the sweep checkpoint journal path so a drain
+// survivor can report where its partial progress lives.
+func (j *Job) setCheckpoint(path string) {
+	j.mu.Lock()
+	j.checkpoint = path
+	j.mu.Unlock()
+}
+
+// JobStatus is the wire representation of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+
+	Spec JobSpec `json:"spec"`
+
+	// Report is the simulation report (sim jobs, done only); the bytes
+	// are exactly what the simulation produced, so cache hits are
+	// byte-identical to the original run.
+	Report json.RawMessage `json:"report,omitempty"`
+	// Tables are the rendered result tables (sweep jobs, done only).
+	Tables []string `json:"tables,omitempty"`
+	// Checkpoint is the sweep journal path for a canceled/drained sweep;
+	// resubmitting the same spec resumes from it.
+	Checkpoint string `json:"checkpoint,omitempty"`
+
+	// Intervals counts timeline intervals recorded so far.
+	Intervals int `json:"intervals"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Key: j.Key, State: j.state, Cached: j.cached,
+		Error: j.errMsg, Spec: j.Spec, Checkpoint: j.checkpoint,
+		Created: j.created,
+	}
+	if len(j.reportJSON) > 0 {
+		st.Report = append(json.RawMessage(nil), j.reportJSON...)
+	}
+	st.Tables = append([]string(nil), j.tables...)
+	if j.tl != nil {
+		st.Intervals = j.tl.Len()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}

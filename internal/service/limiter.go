@@ -1,0 +1,93 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client (keyed by remote
+// IP) may submit at rate jobs/second with bursts up to burst. A zero
+// rate disables limiting. The implementation is self-contained — the
+// module deliberately has no external dependencies.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	clients map[string]*bucket
+
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map; past it, stale buckets (full ones,
+// which behave identically to absent ones) are pruned.
+const maxClients = 4096
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		clients: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow reports whether the client may proceed, consuming one token.
+func (l *rateLimiter) allow(client string) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= maxClients {
+			l.prune()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops buckets that have refilled to full — indistinguishable
+// from a fresh client. Called with the mutex held.
+func (l *rateLimiter) prune() {
+	now := l.now()
+	for key, b := range l.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.clients, key)
+		}
+	}
+}
+
+// retryAfter estimates the seconds until the client has one token again
+// (for the Retry-After header). At least 1.
+func (l *rateLimiter) retryAfter() int {
+	if l == nil || l.rate <= 0 {
+		return 1
+	}
+	s := int(1 / l.rate)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,551 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridvc"
+	"hybridvc/experiments"
+	"hybridvc/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// defaults sensibly in New.
+type Config struct {
+	// Workers sizes the job worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue; a submission that finds
+	// it full is rejected with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 1024).
+	CacheEntries int
+
+	// RatePerSec limits each client to this many submissions per second
+	// with bursts of RateBurst (0 disables limiting; burst default 10).
+	RatePerSec float64
+	RateBurst  int
+
+	// Resilience knobs applied to every job, reusing the experiments
+	// runner machinery: per-cell timeout, transient retries with linear
+	// backoff.
+	CellTimeout  time.Duration
+	Retries      int
+	RetryBackoff time.Duration
+
+	// SpoolDir holds sweep checkpoint journals, keyed by cache key, so
+	// a drained sweep resumes when the same spec is resubmitted
+	// (default: a per-process temp dir).
+	SpoolDir string
+
+	// Logf receives one line per lifecycle event (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = 10
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// metrics are the daemon's counters, served by /metrics and snapshotted
+// by MetricsSnapshot. All fields are monotonic except the gauges derived
+// at snapshot time.
+type metrics struct {
+	submitted   atomic.Uint64 // accepted submissions (incl. dedup/cache)
+	deduped     atomic.Uint64 // submissions coalesced onto a live job
+	simulated   atomic.Uint64 // simulations actually executed
+	sweeps      atomic.Uint64 // experiment sweeps actually executed
+	completed   atomic.Uint64 // jobs finished in StateDone
+	failed      atomic.Uint64
+	canceled    atomic.Uint64
+	rateLimited atomic.Uint64 // submissions rejected 429 by the limiter
+	queueFull   atomic.Uint64 // submissions rejected 429 by backpressure
+}
+
+// MetricsSnapshot is the exported counter set (see Server.MetricsSnapshot).
+type MetricsSnapshot struct {
+	Submitted   uint64 `json:"submitted"`
+	Deduped     uint64 `json:"deduped"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheLen    int    `json:"cache_entries"`
+	Simulated   uint64 `json:"simulated"`
+	Sweeps      uint64 `json:"sweeps"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Canceled    uint64 `json:"canceled"`
+	RateLimited uint64 `json:"rate_limited"`
+	QueueFull   uint64 `json:"queue_full"`
+	QueueDepth  int    `json:"queue_depth"`
+	Jobs        int    `json:"jobs"`
+	Workers     int    `json:"workers"`
+	Draining    bool   `json:"draining"`
+	UptimeSec   int64  `json:"uptime_sec"`
+}
+
+// Server schedules jobs on a bounded worker pool and answers the HTTP
+// API (see Handler). Construct with New, start the workers with Start,
+// stop with Drain.
+type Server struct {
+	cfg     Config
+	cache   *resultCache
+	limiter *rateLimiter
+	met     metrics
+
+	// lifetime is the parent context of every job; drain cancels it
+	// after the grace period.
+	lifetime context.Context
+	endLife  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by ID
+	byKey    map[string]*Job // latest job per cache key (dedup index)
+	queue    chan *Job
+	draining bool
+	nextID   atomic.Uint64
+	started  time.Time
+
+	// sweepMu serializes sweep jobs: the experiments package's
+	// resilience knobs are process-wide, so concurrent sweeps would
+	// trample each other's cancellation context and checkpoint journal.
+	// A sweep is internally parallel across its cells (experiments.Jobs()
+	// workers), so one at a time keeps the machine busy regardless.
+	sweepMu sync.Mutex
+
+	wg sync.WaitGroup
+}
+
+// New builds a server. Call Start to launch the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if cfg.SpoolDir == "" {
+		dir, err := os.MkdirTemp("", "hvcd-spool-")
+		if err != nil {
+			return nil, fmt.Errorf("service: spool dir: %w", err)
+		}
+		cfg.SpoolDir = dir
+	} else if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: spool dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheEntries),
+		limiter:  newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		lifetime: ctx,
+		endLife:  cancel,
+		jobs:     make(map[string]*Job),
+		byKey:    make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		started:  time.Now(),
+	}, nil
+}
+
+// Start launches the worker pool. It must be called exactly once.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	s.cfg.Logf("hvcd: %d workers, queue depth %d, cache %d entries, spool %s",
+		s.cfg.Workers, s.cfg.QueueDepth, s.cfg.CacheEntries, s.cfg.SpoolDir)
+}
+
+// Submission outcomes beyond plain errors.
+var (
+	// ErrQueueFull is returned when the bounded queue rejects a job —
+	// the HTTP layer maps it to 429 with Retry-After.
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrDraining is returned once Drain has begun — mapped to 503.
+	ErrDraining = errors.New("server is draining")
+)
+
+// SubmitResult reports how a submission was satisfied.
+type SubmitResult struct {
+	Job *Job
+	// Fresh means a new job was queued; false means the submission was
+	// coalesced onto an existing job or served from the result cache.
+	Fresh bool
+}
+
+// Submit validates, normalizes and schedules a job spec. Identical specs
+// deduplicate through the content-addressed key: a key with a live
+// (queued/running/done) job coalesces onto it, a key with a cached
+// result gets a job born done, and only genuinely new work is enqueued.
+// A full queue returns ErrQueueFull; a draining server ErrDraining.
+func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
+	if err := spec.Normalize(); err != nil {
+		return SubmitResult{}, err
+	}
+	key := spec.CacheKey()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return SubmitResult{}, ErrDraining
+	}
+	s.met.submitted.Add(1)
+
+	// Coalesce onto a live job with the same key: queued or running
+	// (the submitter shares its id and will see its result), or done
+	// (its result is the cached result). Failed/canceled jobs do not
+	// absorb resubmissions — the user is asking to try again.
+	if prev, ok := s.byKey[key]; ok {
+		switch prev.State() {
+		case StateQueued, StateRunning:
+			s.met.deduped.Add(1)
+			return SubmitResult{Job: prev}, nil
+		case StateDone:
+			s.met.deduped.Add(1)
+			s.cache.hits.Add(1)
+			return SubmitResult{Job: prev}, nil
+		}
+	}
+
+	// A cold key may still hit the result cache (the original job aged
+	// out of the registry, or the key was evicted from byKey on retry).
+	if e, ok := s.cache.get(key); ok {
+		job := newJob(s.newID(), key, spec, s.lifetime)
+		job.finishCached(e.reportJSON, e.tables, e.intervals)
+		s.register(job)
+		return SubmitResult{Job: job}, nil
+	}
+
+	job := newJob(s.newID(), key, spec, s.lifetime)
+	select {
+	case s.queue <- job:
+	default:
+		s.met.queueFull.Add(1)
+		job.cancel()
+		return SubmitResult{}, ErrQueueFull
+	}
+	s.register(job)
+	return SubmitResult{Job: job, Fresh: true}, nil
+}
+
+// register indexes a job; the caller holds s.mu.
+func (s *Server) register(job *Job) {
+	s.jobs[job.ID] = job
+	s.byKey[job.Key] = job
+}
+
+func (s *Server) newID() string {
+	return fmt.Sprintf("j-%d", s.nextID.Add(1))
+}
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every known job, oldest first (by numeric id).
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return jobSeq(out[a].ID) < jobSeq(out[b].ID)
+	})
+	return out
+}
+
+func jobSeq(id string) uint64 {
+	var n uint64
+	fmt.Sscanf(strings.TrimPrefix(id, "j-"), "%d", &n)
+	return n
+}
+
+// Cancel cancels the job by ID. It reports whether the job exists and
+// whether it was still cancelable (non-terminal).
+func (s *Server) Cancel(id string) (found, canceled bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return false, false
+	}
+	if terminal(j.State()) {
+		return true, false
+	}
+	j.Cancel()
+	return true, true
+}
+
+// MetricsSnapshot captures the daemon counters.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	s.mu.Lock()
+	jobs, draining := len(s.jobs), s.draining
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		Submitted:   s.met.submitted.Load(),
+		Deduped:     s.met.deduped.Load(),
+		CacheHits:   s.cache.hits.Load(),
+		CacheMisses: s.cache.misses.Load(),
+		CacheLen:    s.cache.len(),
+		Simulated:   s.met.simulated.Load(),
+		Sweeps:      s.met.sweeps.Load(),
+		Completed:   s.met.completed.Load(),
+		Failed:      s.met.failed.Load(),
+		Canceled:    s.met.canceled.Load(),
+		RateLimited: s.met.rateLimited.Load(),
+		QueueFull:   s.met.queueFull.Load(),
+		QueueDepth:  len(s.queue),
+		Jobs:        jobs,
+		Workers:     s.cfg.Workers,
+		Draining:    draining,
+		UptimeSec:   int64(time.Since(s.started).Seconds()),
+	}
+}
+
+// Drain gracefully stops the server: new submissions are refused with
+// ErrDraining, the queue is closed, every non-terminal job's context is
+// cancelled — a running simulation quiesces at its next chunk boundary,
+// a running sweep stops dispatching cells while its checkpoint journal
+// (keyed by cache key in the spool dir) retains every completed cell, so
+// resubmitting the same spec after a restart resumes rather than
+// restarts — and the workers are awaited until ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue) // Submit holds s.mu while sending, so this is safe
+	var live []*Job
+	for _, j := range s.jobs {
+		if !terminal(j.State()) {
+			live = append(live, j)
+		}
+	}
+	s.mu.Unlock()
+
+	s.cfg.Logf("hvcd: draining — cancelling %d live job(s)", len(live))
+	for _, j := range live {
+		j.Cancel()
+	}
+
+	waited := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(waited)
+	}()
+	var err error
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		err = fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+	s.endLife()
+	// Queued jobs the workers never picked up die with the lifetime
+	// context; mark them canceled so watchers unblock.
+	for _, j := range s.Jobs() {
+		if !terminal(j.State()) {
+			j.finish(StateCanceled, nil, nil, "server drained")
+			s.met.canceled.Add(1)
+		}
+	}
+	return err
+}
+
+// runJob executes one job on a worker.
+func (s *Server) runJob(job *Job) {
+	if !job.start() {
+		// Cancelled while queued.
+		job.finish(StateCanceled, nil, nil, "canceled before start")
+		s.met.canceled.Add(1)
+		return
+	}
+	s.cfg.Logf("hvcd: job %s running (%s, key %.12s…)", job.ID, job.Spec.Kind, job.Key)
+
+	var (
+		report []byte
+		tables []string
+		err    error
+	)
+	switch job.Spec.Kind {
+	case KindSweep:
+		tables, err = s.runSweep(job)
+	default:
+		report, err = s.runSim(job)
+	}
+
+	switch {
+	case err == nil:
+		entry := &cacheEntry{reportJSON: report, tables: tables}
+		if tl := job.timeline(); tl != nil {
+			entry.intervals = tl.Intervals()
+		}
+		s.cache.put(job.Key, entry)
+		job.finish(StateDone, report, tables, "")
+		s.met.completed.Add(1)
+		s.cfg.Logf("hvcd: job %s done", job.ID)
+	case job.ctx.Err() != nil:
+		job.finish(StateCanceled, nil, nil, err.Error())
+		s.met.canceled.Add(1)
+		s.unbindKey(job)
+		s.cfg.Logf("hvcd: job %s canceled", job.ID)
+	default:
+		job.finish(StateFailed, nil, nil, err.Error())
+		s.met.failed.Add(1)
+		s.unbindKey(job)
+		s.cfg.Logf("hvcd: job %s failed: %v", job.ID, err)
+	}
+}
+
+// unbindKey removes a failed/canceled job from the dedup index so a
+// resubmission of the same spec runs fresh instead of coalescing onto
+// the corpse.
+func (s *Server) unbindKey(job *Job) {
+	s.mu.Lock()
+	if s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
+	s.mu.Unlock()
+}
+
+// runOptions assembles the per-job resilience options for the
+// experiments runner.
+func (s *Server) runOptions(job *Job) experiments.RunOptions {
+	return experiments.RunOptions{
+		Ctx:         job.ctx,
+		CellTimeout: s.cfg.CellTimeout,
+		Retries:     s.cfg.Retries,
+		Backoff:     s.cfg.RetryBackoff,
+	}
+}
+
+// runSim executes a sim job as one experiments.Cell through RunCells, so
+// it inherits the sweep runner's panic containment, per-cell timeout and
+// transient-retry machinery with a per-job cancellation context. The
+// simulator is driven directly (not through System.Run) so cancellation
+// can quiesce it at a chunk boundary and the timeline is streamable
+// while the run is in flight.
+func (s *Server) runSim(job *Job) ([]byte, error) {
+	spec := job.Spec
+	cell := experiments.Cell{
+		Label: "service/" + job.ID + "/" + spec.Org,
+		Fn: func() (any, error) {
+			sys, err := hybridvc.New(hybridvc.Config{
+				Org:               hybridvc.Organization(spec.Org),
+				Cores:             spec.Cores,
+				LLCBytes:          spec.LLCBytes,
+				DelayedTLBEntries: spec.DelayedTLBEntries,
+				IndexCacheBytes:   spec.IndexCacheBytes,
+				Seed:              spec.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range spec.Workloads {
+				if err := sys.LoadWorkload(name); err != nil {
+					return nil, err
+				}
+			}
+			simCfg := sim.DefaultConfig()
+			simCfg.Interval = spec.Interval
+			simulator := sim.New(simCfg, sys.Mem, sys.Generators())
+			job.setTimeline(simulator.Timeline())
+
+			// Quiesce at a chunk boundary on cancellation; the watcher
+			// exits when the run finishes.
+			ranDone := make(chan struct{})
+			defer close(ranDone)
+			go func() {
+				select {
+				case <-job.ctx.Done():
+					simulator.Stop()
+				case <-ranDone:
+				}
+			}()
+
+			s.met.simulated.Add(1)
+			rep := simulator.Run(spec.Instructions)
+			if simulator.Interrupted() {
+				return nil, fmt.Errorf("simulation interrupted after %d instructions: %w",
+					rep.Instructions, context.Cause(job.ctx))
+			}
+			return rep.JSON(), nil
+		},
+	}
+	results, err := experiments.RunCellsWith([]experiments.Cell{cell}, s.runOptions(job))
+	if err != nil {
+		return nil, err
+	}
+	text, ok := results[0].Value.(string)
+	if !ok {
+		return nil, fmt.Errorf("service: sim cell returned %T, want string", results[0].Value)
+	}
+	return []byte(text), nil
+}
+
+// runSweep executes a sweep job through the experiment registry with the
+// package-level resilience knobs pointed at this job for the duration
+// (serialized by sweepMu — see the field comment). The checkpoint
+// journal is content-addressed in the spool dir, so a sweep cancelled by
+// drain resumes its completed cells when the same spec is resubmitted.
+func (s *Server) runSweep(job *Job) ([]string, error) {
+	e, ok := experiments.Lookup(job.Spec.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", job.Spec.Experiment) // unreachable post-Normalize
+	}
+
+	ckpt := filepath.Join(s.cfg.SpoolDir, job.Key+".ndjson")
+	job.setCheckpoint(ckpt)
+
+	s.sweepMu.Lock()
+	prevCtx := experiments.SetContext(job.ctx)
+	prevCkpt := experiments.SetCheckpoint(ckpt)
+	prevTimeout := experiments.SetCellTimeout(s.cfg.CellTimeout)
+	prevRetries, prevBackoff := experiments.SetRetry(s.cfg.Retries, s.cfg.RetryBackoff)
+	s.met.sweeps.Add(1)
+	tables, err := e.Run(job.Spec.ExperimentScale())
+	experiments.SetContext(prevCtx)
+	experiments.SetCheckpoint(prevCkpt)
+	experiments.SetCellTimeout(prevTimeout)
+	experiments.SetRetry(prevRetries, prevBackoff)
+	s.sweepMu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	rendered := make([]string, len(tables))
+	for i, t := range tables {
+		rendered[i] = t.String()
+	}
+	// The sweep completed; its journal has served its purpose.
+	os.Remove(ckpt)
+	job.setCheckpoint("")
+	return rendered, nil
+}

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hybridvc"
+	"hybridvc/experiments"
+	"hybridvc/internal/buildinfo"
+	"hybridvc/internal/workload"
+)
+
+// API wire types shared with the client package.
+
+// SubmitResponse answers POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Cached means the result was served from the content-addressed
+	// cache (or coalesced onto an already-finished job) — no new
+	// simulation was scheduled.
+	Cached bool `json:"cached"`
+	// Deduped means the submission coalesced onto a live job with the
+	// same key (queued or running) instead of enqueueing a duplicate.
+	Deduped bool `json:"deduped"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// OrgInfo describes one organization (GET /v1/orgs).
+type OrgInfo struct {
+	Name        string `json:"name"`
+	Virtualized bool   `json:"virtualized"`
+}
+
+// WorkloadInfo describes one catalog workload (GET /v1/orgs).
+type WorkloadInfo struct {
+	Name   string `json:"name"`
+	Bytes  uint64 `json:"bytes"`
+	Procs  int    `json:"procs"`
+	Digest string `json:"digest"`
+}
+
+// CatalogResponse answers GET /v1/orgs: the selectable organizations and
+// the workload catalog with content digests (the digests are the
+// workload component of the cache key, so clients can predict keys).
+type CatalogResponse struct {
+	Organizations []OrgInfo      `json:"organizations"`
+	Workloads     []WorkloadInfo `json:"workloads"`
+}
+
+// ExperimentInfo describes one registered experiment (GET /v1/experiments).
+type ExperimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Version  string `json:"version"`
+	Jobs     int    `json:"jobs"`
+	Draining bool   `json:"draining"`
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /v1/orgs", s.handleOrgs)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientKey extracts the per-client identity for rate limiting: the
+// remote IP without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.limiter.allow(clientKey(r)) {
+		s.met.rateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfter()))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	res, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := res.Job
+	state := job.State()
+	resp := SubmitResponse{
+		ID: job.ID, Key: job.Key, State: state,
+		Cached:  !res.Fresh && state == StateDone,
+		Deduped: !res.Fresh && state != StateDone,
+	}
+	code := http.StatusAccepted
+	if !res.Fresh {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Report = nil // keep the listing light; fetch one job for the body
+		st.Tables = nil
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, canceled := s.Cancel(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !canceled {
+		writeError(w, http.StatusConflict, "job %s already %s", id, mustState(s, id))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": "canceling"})
+}
+
+func mustState(s *Server, id string) string {
+	if j, ok := s.Job(id); ok {
+		return j.State()
+	}
+	return "gone"
+}
+
+// timelinePoll is how often the streaming endpoint re-checks a live
+// timeline for new intervals between job-completion wakeups.
+const timelinePoll = 25 * time.Millisecond
+
+// handleTimeline streams the job's interval time-series as NDJSON: every
+// recorded interval immediately, then (unless ?follow=0) new intervals
+// as the simulation appends them, terminating when the job finishes.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if job.Spec.Kind == KindSweep {
+		writeError(w, http.StatusNotFound, "sweep jobs have no timeline")
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	cursor := 0
+	for {
+		if tl := job.timeline(); tl != nil {
+			batch := tl.Since(cursor)
+			for i := range batch {
+				if err := enc.Encode(&batch[i]); err != nil {
+					return // client went away
+				}
+			}
+			cursor += len(batch)
+			if len(batch) > 0 && flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if terminal(job.State()) {
+			// Final drain already happened above on this iteration.
+			if tl := job.timeline(); tl == nil || tl.Len() <= cursor {
+				return
+			}
+			continue
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			// Loop once more to drain the tail, then exit via terminal.
+		case <-time.After(timelinePoll):
+		}
+	}
+}
+
+func (s *Server) handleOrgs(w http.ResponseWriter, r *http.Request) {
+	var resp CatalogResponse
+	for _, o := range hybridvc.Organizations() {
+		resp.Organizations = append(resp.Organizations, OrgInfo{
+			Name: string(o), Virtualized: o.Virtualized(),
+		})
+	}
+	for _, name := range workload.Names() {
+		spec := workload.Specs[name]
+		resp.Workloads = append(resp.Workloads, WorkloadInfo{
+			Name:   name,
+			Bytes:  spec.TotalBytes(),
+			Procs:  max(1, spec.Procs),
+			Digest: spec.Digest(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{Name: e.Name, Description: e.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.MetricsSnapshot()
+	status := "ok"
+	code := http.StatusOK
+	if m.Draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status: status, Version: buildinfo.Version(),
+		Jobs: m.Jobs, Draining: m.Draining,
+	})
+}
+
+// handleMetrics serves the daemon counters in expvar style: one JSON
+// object whose keys are the process-wide expvar variables (memstats,
+// cmdline, plus anything the binary published — hvcsim's -metrics-addr
+// vars use the same mechanism) extended with an "hvcd" key holding the
+// scheduler/cache counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	vars := map[string]json.RawMessage{}
+	expvar.Do(func(kv expvar.KeyValue) {
+		vars[kv.Key] = json.RawMessage(kv.Value.String())
+	})
+	own, err := json.Marshal(s.MetricsSnapshot())
+	if err == nil {
+		vars["hvcd"] = own
+	}
+	writeJSON(w, http.StatusOK, vars)
+}

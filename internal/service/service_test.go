@@ -1,0 +1,619 @@
+// End-to-end tests of the hvcd service through its HTTP API, using the
+// same client package cmd/hvcctl is built on. The concurrency-heavy
+// cases double as the -race integration suite (see make race / make ci).
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridvc/experiments"
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/client"
+	"hybridvc/internal/stats"
+)
+
+// startServer builds a Server on cfg, wraps it in an httptest server and
+// returns a client pointed at it. Cleanup drains with a deadline.
+func startServer(t *testing.T, cfg service.Config) (*service.Server, *client.Client) {
+	t.Helper()
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = t.TempDir()
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		ts.Close()
+	})
+	return srv, client.New(ts.URL, nil)
+}
+
+// waitState polls until the job reaches want (or any terminal state) and
+// returns the final status.
+func waitState(t *testing.T, c *client.Client, id, want string) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		switch st.State {
+		case want, service.StateDone, service.StateFailed, service.StateCanceled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubmitTwiceServedFromCache is the acceptance path: submitting the
+// same spec twice must return byte-identical report JSON with the second
+// submission served from the cache — exactly one simulation executes,
+// asserted through the daemon's own counters.
+func TestSubmitTwiceServedFromCache(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 2})
+	ctx := context.Background()
+	spec := service.JobSpec{Instructions: 60_000, Seed: 7}
+
+	first, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Deduped {
+		t.Fatalf("first submission not fresh: %+v", first)
+	}
+	st1, err := c.Watch(ctx, first.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != service.StateDone {
+		t.Fatalf("first job finished %s (%s)", st1.State, st1.Error)
+	}
+	if len(st1.Report) == 0 {
+		t.Fatal("done job has no report")
+	}
+	if st1.Intervals == 0 {
+		t.Error("sim job recorded no timeline intervals")
+	}
+
+	second, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatalf("second submission not served from cache: %+v", second)
+	}
+	if second.Key != first.Key {
+		t.Errorf("key changed between identical submissions: %s vs %s", first.Key, second.Key)
+	}
+	st2, err := c.Job(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st1.Report, st2.Report) {
+		t.Errorf("cached report differs from original:\n%s\nvs\n%s", st1.Report, st2.Report)
+	}
+
+	m := srv.MetricsSnapshot()
+	if m.Simulated != 1 {
+		t.Errorf("simulated = %d, want exactly 1 (second submission must not re-simulate)", m.Simulated)
+	}
+	if m.CacheHits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", m.CacheHits)
+	}
+	if m.Submitted != 2 || m.Completed != 1 {
+		t.Errorf("submitted/completed = %d/%d, want 2/1", m.Submitted, m.Completed)
+	}
+
+	// The counters must agree over HTTP too (client → /metrics → hvcd block).
+	hm, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Simulated != 1 || hm.Workers != 2 {
+		t.Errorf("/metrics simulated/workers = %d/%d, want 1/2", hm.Simulated, hm.Workers)
+	}
+}
+
+// TestCatalogEndpoints sanity-checks the discovery surface the client and
+// hvcctl rely on.
+func TestCatalogEndpoints(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	cat, err := c.Orgs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Organizations) == 0 || len(cat.Workloads) == 0 {
+		t.Fatalf("catalog empty: %d orgs, %d workloads", len(cat.Organizations), len(cat.Workloads))
+	}
+	for _, w := range cat.Workloads {
+		if len(w.Digest) != 64 {
+			t.Errorf("workload %s digest %q is not a sha256 hex", w.Name, w.Digest)
+		}
+	}
+
+	exps, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Error("no experiments listed")
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Draining {
+		t.Errorf("health = %+v, want ok", h)
+	}
+}
+
+// TestTimelineStreaming streams a job's NDJSON timeline while it runs and
+// checks the stream is gapless and sums to the final report.
+func TestTimelineStreaming(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	resp, err := c.Submit(ctx, service.JobSpec{Instructions: 100_000, Interval: 5_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []stats.Interval
+	if err := c.Timeline(ctx, resp.ID, true, func(iv stats.Interval) error {
+		streamed = append(streamed, iv)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("streamed no intervals")
+	}
+	var insns uint64
+	for i, iv := range streamed {
+		if iv.Index != i {
+			t.Fatalf("interval %d has index %d: stream is gappy or out of order", i, iv.Index)
+		}
+		insns += iv.Insns
+	}
+	st, err := c.Watch(ctx, resp.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Instructions uint64 `json:"instructions"`
+	}
+	if err := json.Unmarshal(st.Report, &rep); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if insns != rep.Instructions {
+		t.Errorf("streamed insns %d != report instructions %d", insns, rep.Instructions)
+	}
+
+	// A cache-served resubmission must stream the same recorded timeline.
+	resp2, err := c.Submit(ctx, service.JobSpec{Instructions: 100_000, Interval: 5_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed int
+	if err := c.Timeline(ctx, resp2.ID, false, func(stats.Interval) error {
+		replayed++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != len(streamed) {
+		t.Errorf("cached job replayed %d intervals, original streamed %d", replayed, len(streamed))
+	}
+}
+
+// TestCancelUnbindsKey cancels a running job and checks that the spec can
+// be resubmitted fresh (a canceled job must not satisfy future
+// submissions from the dedup index).
+func TestCancelUnbindsKey(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	spec := service.JobSpec{Instructions: 500_000_000, Seed: 11}
+
+	resp, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, resp.ID, service.StateRunning)
+	if err := c.Cancel(ctx, resp.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Watch(ctx, resp.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateCanceled {
+		t.Fatalf("state after cancel = %s (%s)", st.State, st.Error)
+	}
+
+	// Cancelling a terminal job is a conflict, not a success.
+	if err := c.Cancel(ctx, resp.ID); err == nil {
+		t.Error("second cancel of a terminal job succeeded")
+	}
+
+	resp2, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cached || resp2.Deduped || resp2.ID == resp.ID {
+		t.Errorf("resubmission after cancel coalesced onto the corpse: %+v", resp2)
+	}
+	if err := c.Cancel(ctx, resp2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Watch(ctx, resp2.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if m := srv.MetricsSnapshot(); m.Canceled != 2 {
+		t.Errorf("canceled = %d, want 2", m.Canceled)
+	}
+}
+
+// TestQueueBackpressure fills the 1-deep queue behind a busy worker and
+// checks the daemon answers 429 with Retry-After instead of queueing
+// unboundedly.
+func TestQueueBackpressure(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1, QueueDepth: 1})
+	ctx := context.Background()
+	long := func(seed int64) service.JobSpec {
+		return service.JobSpec{Instructions: 500_000_000, Seed: seed}
+	}
+
+	a, err := c.Submit(ctx, long(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, a.ID, service.StateRunning)
+	b, err := c.Submit(ctx, long(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Submit(ctx, long(3))
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 429 {
+		t.Fatalf("submit into full queue: %v, want 429", err)
+	}
+	if !apiErr.IsRetryable() || apiErr.RetryAfter <= 0 {
+		t.Errorf("429 not retryable with Retry-After: %+v", apiErr)
+	}
+	if m := srv.MetricsSnapshot(); m.QueueFull != 1 {
+		t.Errorf("queue_full = %d, want 1", m.QueueFull)
+	}
+
+	for _, id := range []string{a.ID, b.ID} {
+		if err := c.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Watch(ctx, id, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRateLimit checks the per-client token bucket: burst 1 means the
+// second immediate request is refused 429 before its body is even read.
+func TestRateLimit(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1, RatePerSec: 0.5, RateBurst: 1})
+	ctx := context.Background()
+	bad := service.JobSpec{Kind: "nonsense"} // rejected post-limiter; schedules nothing
+
+	_, err := c.Submit(ctx, bad)
+	if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 400 {
+		t.Fatalf("first submit: %v, want 400 (past the limiter)", err)
+	}
+	_, err = c.Submit(ctx, bad)
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 429 {
+		t.Fatalf("second submit: %v, want 429", err)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Errorf("Retry-After = %v, want 2s (1/rate)", apiErr.RetryAfter)
+	}
+	if m := srv.MetricsSnapshot(); m.RateLimited != 1 {
+		t.Errorf("rate_limited = %d, want 1", m.RateLimited)
+	}
+}
+
+// TestDrain checks graceful shutdown: running jobs are cancelled, new
+// submissions answer 503, and health reports draining.
+func TestDrain(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	resp, err := c.Submit(ctx, service.JobSpec{Instructions: 500_000_000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, resp.ID, service.StateRunning)
+
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st, err := c.Job(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateCanceled {
+		t.Errorf("job state after drain = %s", st.State)
+	}
+
+	_, err = c.Submit(ctx, service.JobSpec{Seed: 22})
+	if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 503 {
+		t.Errorf("submit while draining: %v, want 503", err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || !h.Draining {
+		t.Errorf("health while draining = %+v", h)
+	}
+}
+
+// The sweep drain/resume test registers one synthetic experiment: three
+// cells return instantly, the last blocks on sweepGate until the test
+// releases it. Run counts prove which cells re-executed after resume.
+var (
+	registerSweepExp sync.Once
+	sweepGate        = make(chan struct{})
+	sweepCellRuns    [4]atomic.Int32
+)
+
+func sweepExpName() string {
+	registerSweepExp.Do(func() {
+		err := experiments.Add(experiments.Experiment{
+			Name:        "svc-test-exp",
+			Description: "service drain/resume fixture",
+			Run: func(experiments.Scale) ([]*stats.Table, error) {
+				cells := make([]experiments.Cell, len(sweepCellRuns))
+				for i := range cells {
+					cells[i] = experiments.Cell{
+						Label: fmt.Sprintf("svc-test/cell%d", i),
+						Fn: func() (any, error) {
+							sweepCellRuns[i].Add(1)
+							if i == len(cells)-1 {
+								<-sweepGate
+							}
+							return fmt.Sprintf("v%d", i), nil
+						},
+						DecodeValue: func(b []byte) (any, error) {
+							var s string
+							err := json.Unmarshal(b, &s)
+							return s, err
+						},
+					}
+				}
+				res, err := experiments.RunCells(cells)
+				if err != nil {
+					return nil, err
+				}
+				tbl := stats.NewTable("svc-test", "cell", "value")
+				for i, r := range res {
+					tbl.AddRow(fmt.Sprintf("cell%d", i), fmt.Sprint(r.Value))
+				}
+				return []*stats.Table{tbl}, nil
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return "svc-test-exp"
+}
+
+// TestSweepDrainCheckpointResume is the daemon-restart story: a sweep
+// interrupted by drain leaves its content-addressed checkpoint journal in
+// the spool dir, and resubmitting the same spec to a new server on the
+// same spool resumes the journaled cells instead of re-running them.
+func TestSweepDrainCheckpointResume(t *testing.T) {
+	spool := t.TempDir()
+	spec := service.JobSpec{Kind: service.KindSweep, Experiment: sweepExpName()}
+	ctx := context.Background()
+
+	srv1, c1 := startServer(t, service.Config{Workers: 1, SpoolDir: spool})
+	resp, err := c1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(spool, resp.Key+".ndjson")
+
+	// Wait until the three ungated cells are journaled (the fourth blocks
+	// on sweepGate, pinning the sweep mid-flight).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(journal); err == nil &&
+			strings.Count(string(data), "\n") >= len(sweepCellRuns)-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint journal never reached 3 records")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv1.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, err := c1.Job(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateCanceled {
+		t.Fatalf("sweep state after drain = %s (%s)", st.State, st.Error)
+	}
+	if st.Checkpoint == "" {
+		t.Error("drained sweep reports no checkpoint path")
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal gone after drain: %v", err)
+	}
+
+	// "Restart": a fresh server over the same spool dir. Release the gate
+	// so the one unjournaled cell can finish this time.
+	close(sweepGate)
+	_, c2 := startServer(t, service.Config{Workers: 1, SpoolDir: spool})
+	resp2, err := c2.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c2.Watch(ctx, resp2.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != service.StateDone {
+		t.Fatalf("resumed sweep finished %s (%s)", st2.State, st2.Error)
+	}
+	if len(st2.Tables) != 1 || !strings.Contains(st2.Tables[0], "v3") {
+		t.Errorf("resumed sweep tables wrong: %q", st2.Tables)
+	}
+	for i := 0; i < len(sweepCellRuns)-1; i++ {
+		if n := sweepCellRuns[i].Load(); n != 1 {
+			t.Errorf("cell %d ran %d times; journaled cells must not re-run on resume", i, n)
+		}
+	}
+	if n := sweepCellRuns[len(sweepCellRuns)-1].Load(); n != 2 {
+		t.Errorf("gated cell ran %d times, want 2 (abandoned attempt + resume)", n)
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Errorf("journal not removed after successful resume: %v", err)
+	}
+}
+
+// TestConcurrentClients is the -race integration test: 12 concurrent
+// clients submit, watch, stream, deduplicate and cancel jobs against one
+// daemon, then the daemon drains under load.
+func TestConcurrentClients(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 4, QueueDepth: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const clients = 12
+	const iters = 2
+	shared := service.JobSpec{Instructions: 30_000, Interval: 5_000, Seed: 1000}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*iters*2)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				switch id % 3 {
+				case 0: // unique spec, watch to completion
+					spec := service.JobSpec{Instructions: 30_000, Interval: 5_000,
+						Seed: int64(100*id + it + 1)}
+					resp, err := c.SubmitWait(ctx, spec)
+					if err != nil {
+						errs <- fmt.Errorf("client %d submit: %w", id, err)
+						return
+					}
+					st, err := c.Watch(ctx, resp.ID, 10*time.Millisecond)
+					if err != nil {
+						errs <- fmt.Errorf("client %d watch: %w", id, err)
+						return
+					}
+					if st.State != service.StateDone {
+						errs <- fmt.Errorf("client %d job %s: %s (%s)", id, resp.ID, st.State, st.Error)
+						return
+					}
+				case 1: // shared spec: exercises dedup/coalescing + cache
+					resp, err := c.SubmitWait(ctx, shared)
+					if err != nil {
+						errs <- fmt.Errorf("client %d shared submit: %w", id, err)
+						return
+					}
+					var n int
+					if err := c.Timeline(ctx, resp.ID, true, func(stats.Interval) error {
+						n++
+						return nil
+					}); err != nil {
+						errs <- fmt.Errorf("client %d timeline: %w", id, err)
+						return
+					}
+					st, err := c.Watch(ctx, resp.ID, 10*time.Millisecond)
+					if err != nil {
+						errs <- fmt.Errorf("client %d shared watch: %w", id, err)
+						return
+					}
+					if st.State == service.StateDone && n == 0 {
+						errs <- fmt.Errorf("client %d: done shared job streamed 0 intervals", id)
+						return
+					}
+				case 2: // submit long, cancel immediately, await terminal
+					spec := service.JobSpec{Instructions: 500_000_000,
+						Seed: int64(9000 + 100*id + it)}
+					resp, err := c.SubmitWait(ctx, spec)
+					if err != nil {
+						errs <- fmt.Errorf("client %d long submit: %w", id, err)
+						return
+					}
+					if err := c.Cancel(ctx, resp.ID); err != nil {
+						// Another goroutine's duplicate may already be
+						// terminal (409); only transport errors are fatal.
+						if _, ok := err.(*client.APIError); !ok {
+							errs <- fmt.Errorf("client %d cancel: %w", id, err)
+							return
+						}
+					}
+					if _, err := c.Watch(ctx, resp.ID, 10*time.Millisecond); err != nil {
+						errs <- fmt.Errorf("client %d canceled watch: %w", id, err)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := srv.MetricsSnapshot()
+	if m.Failed != 0 {
+		t.Errorf("failed = %d, want 0", m.Failed)
+	}
+	if m.Simulated == 0 || m.Submitted < clients {
+		t.Errorf("implausible load counters: %+v", m)
+	}
+	for _, j := range srv.Jobs() {
+		if s := j.State(); s == service.StateFailed {
+			t.Errorf("job %s failed: %+v", j.ID, j.Status())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeCanonicalizes checks the content-addressing contract: a
+// spec relying on defaults and a spec spelling the same defaults out
+// explicitly must normalize to the same fields and hash to the same key.
+func TestNormalizeCanonicalizes(t *testing.T) {
+	defaulted := JobSpec{}
+	explicit := JobSpec{
+		Kind: KindSim, Org: "hybrid-manyseg+sc", Workloads: []string{"gups"},
+		Instructions: 200_000, Cores: 1, Seed: 1, Interval: 10_000,
+	}
+	if err := defaulted.Normalize(); err != nil {
+		t.Fatalf("defaulted: %v", err)
+	}
+	if err := explicit.Normalize(); err != nil {
+		t.Fatalf("explicit: %v", err)
+	}
+	if dk, ek := defaulted.CacheKey(), explicit.CacheKey(); dk != ek {
+		t.Errorf("defaulted key %s != explicit key %s", dk, ek)
+	}
+}
+
+// TestCacheKeySensitivity: any behaviourally meaningful field change must
+// move the key; two normalizations of the same spec must not.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := JobSpec{}
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	baseKey := base.CacheKey()
+	if again := base.CacheKey(); again != baseKey {
+		t.Errorf("key not stable: %s then %s", baseKey, again)
+	}
+
+	variants := []JobSpec{
+		{Seed: 2},
+		{Instructions: 100_000},
+		{Org: "baseline"},
+		{Workloads: []string{"stream"}},
+		{Interval: 5_000},
+		{Kind: KindSweep, Experiment: "latency"},
+	}
+	seen := map[string]int{baseKey: -1}
+	for i, v := range variants {
+		if err := v.Normalize(); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		k := v.CacheKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d (key %s)", i, prev, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestNormalizeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"unknown kind", JobSpec{Kind: "batch"}, "unknown job kind"},
+		{"unknown org", JobSpec{Org: "quantum"}, "unknown organization"},
+		{"unknown workload", JobSpec{Workloads: []string{"nope"}}, "unknown workload"},
+		{"ovc multicore", JobSpec{Org: "ovc", Cores: 2}, "single-core"},
+		{"sweep fields on sim", JobSpec{Experiment: "fig9"}, "sweep-job fields"},
+		{"sweep without experiment", JobSpec{Kind: KindSweep}, "needs an experiment"},
+		{"unknown experiment", JobSpec{Kind: KindSweep, Experiment: "fig99"}, "unknown experiment"},
+		{"bad scale", JobSpec{Kind: KindSweep, Experiment: "fig9", Scale: "huge"}, "unknown scale"},
+		{"sim fields on sweep", JobSpec{Kind: KindSweep, Experiment: "fig9", Seed: 3}, "not meaningful"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: Normalize accepted %+v", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

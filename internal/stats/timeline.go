@@ -127,6 +127,23 @@ func (t *Timeline) Intervals() []Interval {
 	return append([]Interval(nil), t.intervals...)
 }
 
+// Since returns a copy of the intervals recorded at index from onwards
+// (nil when from is at or past the end). It is the streaming cursor:
+// a reader that remembers how many intervals it has already emitted can
+// poll Since(cursor) to pick up exactly the new ones, concurrently with
+// the simulator appending.
+func (t *Timeline) Since(from int) []Interval {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.intervals) {
+		return nil
+	}
+	return append([]Interval(nil), t.intervals[from:]...)
+}
+
 // Latest returns the most recent interval and true, or false when empty.
 func (t *Timeline) Latest() (Interval, bool) {
 	t.mu.Lock()

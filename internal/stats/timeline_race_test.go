@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestTimelineConcurrentReaders hammers every read path of a Timeline
+// while a writer goroutine appends — the exact shape of the service's
+// streaming endpoint (a Since cursor polling behind a live simulation)
+// and the live metrics endpoint (Latest/Len). Run under `go test -race`
+// this pins the mutex discipline: any unguarded access trips the
+// detector.
+func TestTimelineConcurrentReaders(t *testing.T) {
+	const total = 2000
+	tl := &Timeline{}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: the simulator appending one interval per window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < total; i++ {
+			tl.Append(Interval{Index: i, Insns: 10, Refs: uint64(i)})
+		}
+	}()
+
+	// Streaming readers: each keeps a Since cursor and must observe the
+	// intervals in order with no gaps, exactly once.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cursor, next := 0, 0
+			for {
+				batch := tl.Since(cursor)
+				for _, iv := range batch {
+					if iv.Index != next {
+						t.Errorf("streaming reader: got interval %d, want %d", iv.Index, next)
+						return
+					}
+					next++
+				}
+				cursor += len(batch)
+				if cursor >= total {
+					return
+				}
+				select {
+				case <-stop:
+					// Writer finished; one final drain then done.
+					rest := tl.Since(cursor)
+					for _, iv := range rest {
+						if iv.Index != next {
+							t.Errorf("final drain: got interval %d, want %d", iv.Index, next)
+							return
+						}
+						next++
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Snapshot readers: Len/Latest/Intervals/WriteNDJSON concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := tl.Len()
+				if iv, ok := tl.Latest(); ok && iv.Index >= total {
+					t.Errorf("Latest index %d out of range", iv.Index)
+				}
+				if ivs := tl.Intervals(); len(ivs) < n {
+					t.Errorf("Intervals shrank: %d < %d", len(ivs), n)
+				}
+				var buf bytes.Buffer
+				if err := tl.WriteNDJSON(&buf); err != nil {
+					t.Errorf("WriteNDJSON: %v", err)
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	if got := tl.Len(); got != total {
+		t.Fatalf("Len = %d, want %d", got, total)
+	}
+	if tail := tl.Since(total); tail != nil {
+		t.Fatalf("Since(total) = %d intervals, want nil", len(tail))
+	}
+	if tl.Since(-5)[0].Index != 0 {
+		t.Fatal("Since with a negative cursor must start at 0")
+	}
+}

@@ -1,0 +1,28 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Digest returns a stable content hash of the spec: two specs describing
+// the same synthetic workload (same regions, ratios, locality, sharing
+// and paging behaviour) digest identically regardless of how they were
+// obtained. It is the workload component of the service result-cache key
+// (see internal/service), standing in for the trace-file digest of a
+// trace-driven run: the generator is a pure function of (Spec, seed), so
+// the spec hash identifies the reference stream up to the seed, which
+// the cache key carries separately.
+func (s Spec) Digest() string {
+	// encoding/json marshals struct fields in declaration order, so the
+	// encoding — and therefore the hash — is canonical for a given Spec.
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Unreachable: Spec holds only strings, numbers and bools.
+		panic(fmt.Sprintf("workload: digest marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

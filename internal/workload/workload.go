@@ -10,6 +10,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"hybridvc/internal/addr"
 	"hybridvc/internal/osmodel"
@@ -203,6 +204,16 @@ var Specs = map[string]Spec{
 		MemRatio: 0.35, StoreFrac: 0.3, Pattern: Zipf, HotFrac: 0.1, DepFrac: 0.2,
 		Procs: 4, SharedBytes: 512 * kib, SharedAccessFrac: 0.004,
 	},
+}
+
+// Names returns the catalog workload names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Specs))
+	for name := range Specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Get returns the named spec.

@@ -130,3 +130,63 @@ func TestTimelineCSVWellFormed(t *testing.T) {
 		}
 	}
 }
+
+// TestTimelineStreamWhileSimulating follows a live timeline with a Since
+// cursor while the simulation goroutine appends intervals — the service
+// daemon's streaming endpoint does exactly this. Under `go test -race`
+// it pins that concurrent streaming is race-free; in any mode it checks
+// the streamed sequence is gapless, duplicate-free, and telescopes to
+// the final report.
+func TestTimelineStreamWhileSimulating(t *testing.T) {
+	simCfg := sim.DefaultConfig()
+	simCfg.Interval = 5_000
+	sys, err := hybridvc.New(hybridvc.Config{
+		Org:      hybridvc.HybridManySegSC,
+		LLCBytes: 256 << 10,
+		Seed:     1,
+		Sim:      simCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadWorkload("gups"); err != nil {
+		t.Fatal(err)
+	}
+	simulator := sim.New(simCfg, sys.Mem, sys.Generators())
+
+	done := make(chan sim.Report, 1)
+	go func() { done <- simulator.Run(150_000) }()
+
+	var streamed []stats.Interval
+	cursor := 0
+	var report sim.Report
+	for running := true; running; {
+		select {
+		case report = <-done:
+			running = false
+		default:
+		}
+		batch := simulator.Timeline().Since(cursor)
+		streamed = append(streamed, batch...)
+		cursor += len(batch)
+	}
+	// Final drain after the run finished.
+	streamed = append(streamed, simulator.Timeline().Since(cursor)...)
+
+	if len(streamed) == 0 {
+		t.Fatal("streamed no intervals")
+	}
+	var insns uint64
+	for i, iv := range streamed {
+		if iv.Index != i {
+			t.Fatalf("streamed interval %d has index %d (gap or duplicate)", i, iv.Index)
+		}
+		insns += iv.Insns
+	}
+	if insns != report.Instructions {
+		t.Errorf("streamed insns sum %d != report instructions %d", insns, report.Instructions)
+	}
+	if n := simulator.Timeline().Len(); n != len(streamed) {
+		t.Errorf("streamed %d of %d intervals", len(streamed), n)
+	}
+}
