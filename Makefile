@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
+.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race sim-race staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
 
 all: build
 
@@ -26,7 +26,7 @@ race:
 # Set BENCH_CHECK=1 to also gate hot-path throughput against the
 # committed BENCH_hotpath.json (off by default: benchmark wall time and
 # machine-to-machine variance don't belong in every CI run).
-ci: vet staticcheck govulncheck test race service-race parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
+ci: vet staticcheck govulncheck test race service-race sim-race parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
 
 # service-race runs the hvcd service integration suite alone under the
 # race detector: concurrent clients submitting/watching/cancelling jobs
@@ -34,6 +34,16 @@ ci: vet staticcheck govulncheck test race service-race parity invariants fuzz-sm
 # so it gets its own CI line even though `race` also covers it.
 service-race:
 	$(GO) test -race -count=1 ./internal/service/...
+
+# sim-race runs the parallel run-loop parity test under the race
+# detector at two scheduler widths: narrow (GOMAXPROCS=2 — maximal
+# token-ring handoff contention, workers constantly preempting each
+# other) and wide (GOMAXPROCS=8 — every per-core worker goroutine truly
+# parallel). `race` already covers the test at the default width; these
+# two pins keep both extremes exercised.
+sim-race:
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run TestParallelRunMatchesSerial ./internal/sim
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run TestParallelRunMatchesSerial ./internal/sim
 
 # staticcheck/govulncheck run when the tools are installed and skip with a
 # notice otherwise — the build environment is intentionally hermetic (no
@@ -81,10 +91,11 @@ bench:
 	$(GO) test -run=NONE -bench=BenchmarkQuickFullSweep -benchtime=1x .
 
 # bench-hotpath compares the scalar and batched access paths on every
-# organization and writes BENCH_hotpath.json (refs/sec per organization
-# plus the speedup over the recorded pre-refactor scalar baseline).
+# organization and writes BENCH_hotpath.json: refs/sec per organization
+# at the simulator's default chunk, the speedup over the recorded
+# pre-refactor scalar baseline, and a batch chunk-size sweep.
 bench-hotpath:
-	$(GO) test -run=NONE -bench=BenchmarkHotPath -benchtime=1x .
+	$(GO) test -run=NONE -bench=BenchmarkHotPath -benchtime=1x . -chunks 64,128,256
 
 # bench-check re-measures the hot path into a temp file and fails when
 # any organization's batched refs/sec regressed more than 10% against the

@@ -1,12 +1,17 @@
 // Command benchcheck gates hot-path performance regressions: it compares
 // a freshly measured BENCH_hotpath.json against the committed baseline
 // and exits non-zero when any organization's batched throughput dropped
-// by more than the threshold.
+// by more than the threshold, or when any organization's batch/scalar
+// speedup in the fresh run fell below the floor — the batched path must
+// never be slower than the scalar path it replaces (the virt-2d 0.96x
+// regression is the canonical example the floor exists to catch).
 //
 // The allowed regression is the -tolerance flag (default 0.10 = 10%), so
 // gates with different noise floors — the hot-path microbenchmark vs the
 // service throughput benchmark — can run the same checker with different
-// slack. -threshold is the deprecated alias of -tolerance.
+// slack. -threshold is the deprecated alias of -tolerance. The speedup
+// floor is the -speedup-floor flag (default 1.0; negative disables it,
+// for results files that carry no speedup column).
 //
 // Usage (see `make bench-check`):
 //
@@ -18,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"hybridvc/internal/buildinfo"
 )
@@ -30,6 +36,7 @@ type benchFile struct {
 type benchRow struct {
 	Org             string  `json:"org"`
 	BatchRefsPerSec float64 `json:"batch_refs_per_sec"`
+	Speedup         float64 `json:"speedup"`
 }
 
 func main() {
@@ -37,6 +44,7 @@ func main() {
 	fresh := flag.String("new", "", "freshly measured results to check")
 	tolerance := flag.Float64("tolerance", 0.10, "max allowed fractional regression per organization (0 <= t < 1)")
 	threshold := flag.Float64("threshold", 0.10, "deprecated alias of -tolerance")
+	speedupFloor := flag.Float64("speedup-floor", 1.0, "min batch/scalar speedup per organization in the fresh run (negative disables)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag(version, "benchcheck")
@@ -49,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
 	}
-	regressions, err := check(*base, *fresh, tol)
+	regressions, err := check(*base, *fresh, tol, *speedupFloor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
@@ -89,11 +97,14 @@ func pickTolerance(tolerance, threshold float64, set map[string]bool) (float64, 
 }
 
 // check compares the fresh batch throughput of every baseline organization
-// and returns one message per regression beyond the threshold. Fresh
-// organizations missing from the baseline are ignored (new design points);
-// baseline organizations missing from the fresh run are reported — a
-// silently dropped row must not pass the gate.
-func check(basePath, freshPath string, threshold float64) ([]string, error) {
+// and returns one message per regression beyond the threshold, plus one
+// per fresh organization whose batch/scalar speedup fell below the floor
+// (speedupFloor < 0 disables that gate). Fresh organizations missing from
+// the baseline are ignored for the throughput comparison (new design
+// points) but still face the speedup floor; baseline organizations missing
+// from the fresh run are reported — a silently dropped row must not pass
+// the gate.
+func check(basePath, freshPath string, threshold, speedupFloor float64) ([]string, error) {
 	baseRows, err := load(basePath)
 	if err != nil {
 		return nil, err
@@ -110,18 +121,28 @@ func check(basePath, freshPath string, threshold float64) ([]string, error) {
 				fmt.Sprintf("%s: present in %s but missing from %s", org, basePath, freshPath))
 			continue
 		}
-		floor := b * (1 - threshold)
-		if f < floor {
+		floor := b.BatchRefsPerSec * (1 - threshold)
+		if f.BatchRefsPerSec < floor {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: batch %.0f refs/s < %.0f (baseline %.0f - %.0f%%)",
-				org, f, floor, b, 100*threshold))
+				org, f.BatchRefsPerSec, floor, b.BatchRefsPerSec, 100*threshold))
 		}
 	}
+	if speedupFloor >= 0 {
+		for org, f := range freshRows {
+			if f.Speedup < speedupFloor {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: batch/scalar speedup %.2fx < %.2fx floor — the batched path must not be slower than scalar",
+					org, f.Speedup, speedupFloor))
+			}
+		}
+	}
+	sort.Strings(regressions)
 	return regressions, nil
 }
 
-// load reads a results file into org -> batch refs/sec.
-func load(path string) (map[string]float64, error) {
+// load reads a results file into org -> row.
+func load(path string) (map[string]benchRow, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -133,9 +154,9 @@ func load(path string) (map[string]float64, error) {
 	if len(bf.Organizations) == 0 {
 		return nil, fmt.Errorf("%s: no organization rows", path)
 	}
-	out := make(map[string]float64, len(bf.Organizations))
+	out := make(map[string]benchRow, len(bf.Organizations))
 	for _, r := range bf.Organizations {
-		out[r.Org] = r.BatchRefsPerSec
+		out[r.Org] = r
 	}
 	return out, nil
 }

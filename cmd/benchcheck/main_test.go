@@ -24,7 +24,7 @@ func TestCheckPassesWithinThreshold(t *testing.T) {
 	fresh := writeResults(t, "fresh.json",
 		`{"org":"baseline","batch_refs_per_sec":950000},
 		 {"org":"hybrid-manyseg+sc","batch_refs_per_sec":460000}`)
-	regs, err := check(base, fresh, 0.10)
+	regs, err := check(base, fresh, 0.10, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestCheckFlagsRegression(t *testing.T) {
 		`{"org":"baseline","batch_refs_per_sec":1000000}`)
 	fresh := writeResults(t, "fresh.json",
 		`{"org":"baseline","batch_refs_per_sec":850000}`)
-	regs, err := check(base, fresh, 0.10)
+	regs, err := check(base, fresh, 0.10, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestCheckFlagsMissingOrg(t *testing.T) {
 		 {"org":"rmm","batch_refs_per_sec":800000}`)
 	fresh := writeResults(t, "fresh.json",
 		`{"org":"baseline","batch_refs_per_sec":1000000}`)
-	regs, err := check(base, fresh, 0.10)
+	regs, err := check(base, fresh, 0.10, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestCheckIgnoresNewOrgs(t *testing.T) {
 	fresh := writeResults(t, "fresh.json",
 		`{"org":"baseline","batch_refs_per_sec":1000000},
 		 {"org":"brand-new","batch_refs_per_sec":10}`)
-	regs, err := check(base, fresh, 0.10)
+	regs, err := check(base, fresh, 0.10, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +77,63 @@ func TestCheckIgnoresNewOrgs(t *testing.T) {
 	}
 }
 
+func TestCheckFlagsSpeedupBelowFloor(t *testing.T) {
+	// The virt-2d 0.96x scenario: throughput within tolerance, but the
+	// batched path is slower than scalar. The default 1.0 floor must
+	// catch it even though the refs/sec comparison passes.
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000,"speedup":1.20},
+		 {"org":"virt-2d","batch_refs_per_sec":800000,"speedup":1.02}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000,"speedup":1.20},
+		 {"org":"virt-2d","batch_refs_per_sec":790000,"speedup":0.96}`)
+	regs, err := check(base, fresh, 0.10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "virt-2d") || !strings.Contains(regs[0], "0.96") {
+		t.Errorf("want one virt-2d speedup regression, got %v", regs)
+	}
+}
+
+func TestCheckSpeedupFloorAppliesToNewOrgs(t *testing.T) {
+	// New design points skip the baseline throughput comparison but not
+	// the speedup floor: a brand-new org must still beat scalar.
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000,"speedup":1.20}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000,"speedup":1.20},
+		 {"org":"brand-new","batch_refs_per_sec":900000,"speedup":0.50}`)
+	regs, err := check(base, fresh, 0.10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "brand-new") {
+		t.Errorf("want one brand-new speedup regression, got %v", regs)
+	}
+}
+
+func TestCheckNegativeFloorDisablesSpeedupGate(t *testing.T) {
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000}`)
+	// Rows without a speedup column decode as 0; a negative floor must
+	// keep legacy files passing.
+	regs, err := check(base, fresh, 0.10, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("disabled floor still flagged: %v", regs)
+	}
+}
+
 func TestCheckRejectsEmptyFile(t *testing.T) {
 	base := writeResults(t, "base.json", ``)
 	fresh := writeResults(t, "fresh.json",
 		`{"org":"baseline","batch_refs_per_sec":1}`)
-	if _, err := check(base, fresh, 0.10); err == nil {
+	if _, err := check(base, fresh, 0.10, -1); err == nil {
 		t.Error("want error for results file with no rows")
 	}
 }

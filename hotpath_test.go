@@ -97,6 +97,64 @@ func TestAccessBatchShortResultPanics(t *testing.T) {
 	sys.Mem.AccessBatch(reqs, make([]core.Result, 1))
 }
 
+// TestAccessBatchLongResultTailUntouched pins the windowing contract:
+// when res is longer than reqs, only the first len(reqs) entries are
+// written and the tail is left exactly as the caller had it (not
+// zeroed), so a chunking driver can batch into windows of one large
+// reusable buffer.
+func TestAccessBatchLongResultTailUntouched(t *testing.T) {
+	const n, extra = 100, 60
+	sys := newHotpathSystem(t, hybridvc.HybridManySegSC, "gups")
+	reqs := collectRequests(sys, n)
+	sentinel := core.Result{Latency: 0xdeadbeef, HitLevel: 9, LLCMiss: true, Fault: true}
+	res := make([]core.Result, n+extra)
+	for i := n; i < len(res); i++ {
+		res[i] = sentinel
+	}
+	sys.Mem.AccessBatch(reqs, res)
+	for i := 0; i < n; i++ {
+		if res[i] == sentinel {
+			t.Fatalf("res[%d] not written", i)
+		}
+	}
+	for i := n; i < len(res); i++ {
+		if res[i] != sentinel {
+			t.Fatalf("res[%d] in the tail was touched: %+v", i, res[i])
+		}
+	}
+}
+
+// TestAccessBatchZeroLength pins the fast path: an empty batch returns
+// immediately without touching engine state (no energy, no statistics)
+// or the result slice.
+func TestAccessBatchZeroLength(t *testing.T) {
+	sys := newHotpathSystem(t, hybridvc.HybridManySegSC, "gups")
+	// Warm with a little real traffic so "no state change" is a
+	// meaningful claim about a live system, not a fresh one.
+	warm := collectRequests(sys, 64)
+	sys.Mem.AccessBatch(warm, make([]core.Result, len(warm)))
+
+	energyBefore := sys.Mem.Energy().Dynamic()
+	accessesBefore := sys.Mem.Hierarchy().LLC().Stats.Accesses()
+	sentinel := core.Result{Latency: 0xdeadbeef, HitLevel: 9}
+	res := []core.Result{sentinel, sentinel}
+
+	sys.Mem.AccessBatch(nil, res)
+	sys.Mem.AccessBatch([]core.Request{}, nil)
+
+	if got := sys.Mem.Energy().Dynamic(); got != energyBefore {
+		t.Errorf("zero-length batch spent energy: %v -> %v", energyBefore, got)
+	}
+	if got := sys.Mem.Hierarchy().LLC().Stats.Accesses(); got != accessesBefore {
+		t.Errorf("zero-length batch touched the LLC: %d -> %d accesses", accessesBefore, got)
+	}
+	for i, r := range res {
+		if r != sentinel {
+			t.Errorf("zero-length batch wrote res[%d]: %+v", i, r)
+		}
+	}
+}
+
 // TestAccessBatchSteadyStateAllocs requires the batched hot path to run
 // allocation-free in the steady state: after a warm-up pass has grown the
 // engine's scratch buffers and filled the caches, repeated AccessBatch

@@ -202,6 +202,19 @@ func (n Name) Key() uint64 {
 	return k
 }
 
+// NameFromKey inverts Key: it rebuilds the Name a key value was packed
+// from. The packing is bijective — Addr occupies the canonical low 48 bits
+// (line-aligned, so bits 0..5 are clear), bit 0 carries the synonym flag,
+// and the ASID sits above — which is what lets the cache keep only packed
+// keys and reconstruct victim and flush names on the slow paths.
+func NameFromKey(k uint64) Name {
+	return Name{
+		Addr:    k &^ 1 & (1<<VABits - 1),
+		ASID:    ASID(k >> VABits),
+		Synonym: k&1 != 0,
+	}
+}
+
 // Line returns the line number used for cache set indexing.
 func (n Name) Line() uint64 { return n.Addr >> LineBits }
 

@@ -157,6 +157,23 @@ func TestNameIdentity(t *testing.T) {
 	}
 }
 
+// TestNameKeyRoundTrip pins the bijection the cache's packed-key storage
+// depends on: NameFromKey(n.Key()) == n for every representable name.
+func TestNameKeyRoundTrip(t *testing.T) {
+	addrs := []uint64{0, 0x40, 0x1000_0040, (1 << VABits) - LineSize}
+	asids := []ASID{0, MakeASID(0, 7), ASID(0xffff)}
+	for _, a := range addrs {
+		for _, asid := range asids {
+			for _, syn := range []bool{false, true} {
+				n := Name{Addr: a, ASID: asid, Synonym: syn}
+				if got := NameFromKey(n.Key()); got != n {
+					t.Errorf("NameFromKey(%v.Key()) = %v", n, got)
+				}
+			}
+		}
+	}
+}
+
 func TestNameSamePage(t *testing.T) {
 	a := MakeASID(0, 1)
 	n1 := VirtName(a, 0x5000)

@@ -233,6 +233,25 @@ func TestXorFold(t *testing.T) {
 	}
 }
 
+// TestXorFold5 pins the branch-free 5-bit fold to the generic loop on a
+// dense sweep plus a pseudorandom sample of the full word range.
+func TestXorFold5(t *testing.T) {
+	for x := uint64(0); x < 1<<16; x++ {
+		if got, want := xorFold5(x), xorFold(x, 5); got != want {
+			t.Fatalf("xorFold5(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 1<<16; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if got, want := xorFold5(x), xorFold(x, 5); got != want {
+			t.Fatalf("xorFold5(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+}
+
 func TestWordsSnapshot(t *testing.T) {
 	f := New(33)
 	f.Insert(123456)

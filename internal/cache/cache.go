@@ -54,14 +54,13 @@ type Config struct {
 	HitLatency uint64
 }
 
-// Line is one cache way's bookkeeping: the extended tag of Figure 2.
+// Line is one cache way's coherence bookkeeping: the MESI state and the
+// cached permission bits of the extended tag of Figure 2. Everything else
+// a way carries lives in the Cache's packed structure-of-arrays — the tag
+// key it is matched by (which encodes the full block name, reconstructed
+// on demand via addr.NameFromKey) and its LRU stamp — so the hot set scans
+// and fills touch one densely packed word per way plus these two bytes.
 type Line struct {
-	// key caches Name.Key() so the set scan in lookup compares one word
-	// instead of the three-field Name struct. Zero for invalid ways.
-	key   uint64
-	Name  addr.Name
-	lru   uint64
-	Valid bool
 	State State
 	Perm  addr.Perm
 }
@@ -71,9 +70,24 @@ func (l *Line) Dirty() bool { return l.State == Modified }
 
 // Cache is one set-associative write-back cache level.
 type Cache struct {
-	cfg      Config
-	sets     [][]Line
-	setMask  uint64
+	cfg     Config
+	setMask uint64
+	// keys holds each way's one-word tag key packed contiguously, so the
+	// hot set scans compare one contiguous word per way instead of
+	// striding through per-way structs. A valid way stores Name.Key()
+	// with keyValidBit set (bit 1 is always clear in a key: addresses are
+	// line-aligned and bit 0 is the synonym bit); invalid ways store 0,
+	// so a single compare per way resolves both tag match and validity,
+	// and the full block name is recovered with addr.NameFromKey.
+	keys []uint64
+	// lrus holds each way's LRU stamp packed the same way; zero means the
+	// way is invalid (ticks start at 1), which lets find and the Fill
+	// victim scan run entirely over the packed arrays.
+	lrus []uint64
+	// meta holds each way's two-byte coherence state and permission; set
+	// si occupies meta[si*ways : (si+1)*ways], like keys and lrus.
+	meta     []Line
+	ways     uint64
 	tick     uint64
 	Stats    stats.HitMiss
 	Evicted  stats.Counter // lines evicted for capacity/conflict
@@ -94,32 +108,50 @@ func New(cfg Config) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nsets))
 	}
-	sets := make([][]Line, nsets)
-	backing := make([]Line, nsets*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	return &Cache{
+		cfg: cfg, setMask: uint64(nsets - 1),
+		keys: make([]uint64, nsets*cfg.Ways),
+		lrus: make([]uint64, nsets*cfg.Ways),
+		meta: make([]Line, nsets*cfg.Ways),
+		ways: uint64(cfg.Ways),
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1)}
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.keys) / int(c.ways) }
 
-func (c *Cache) set(n addr.Name) []Line {
-	return c.sets[n.Line()&c.setMask]
+// nameAt rebuilds the block name stored in way i from its packed key.
+func (c *Cache) nameAt(i uint64) addr.Name {
+	return addr.NameFromKey(c.keys[i] &^ keyValidBit)
+}
+
+// keyValidBit marks an occupied way in the packed key mirror. Name.Key()
+// never sets bit 1 (addresses are line-aligned, bit 0 is the synonym
+// bit), so key|keyValidBit is nonzero and collides with no other name.
+const keyValidBit = 1 << 1
+
+// find locates n's way, scanning the packed key mirror: it returns the set
+// index, the way, and whether a valid match exists.
+func (c *Cache) find(n addr.Name) (si uint64, w int, ok bool) {
+	k := n.Key() | keyValidBit
+	si = n.Line() & c.setMask
+	base := si * c.ways
+	keys := c.keys[base : base+c.ways]
+	for i := range keys {
+		if keys[i] == k {
+			return si, i, true
+		}
+	}
+	return si, 0, false
 }
 
 // lookup returns the way holding n, or nil.
 func (c *Cache) lookup(n addr.Name) *Line {
-	k := n.Key()
-	set := c.set(n)
-	for i := range set {
-		if set[i].key == k && set[i].Valid {
-			return &set[i]
-		}
+	if si, w, ok := c.find(n); ok {
+		return &c.meta[si*c.ways+uint64(w)]
 	}
 	return nil
 }
@@ -139,57 +171,135 @@ type Victim struct {
 // Fill after resolving the miss so fill ordering matches the hierarchy.
 func (c *Cache) Access(n addr.Name) *Line {
 	c.tick++
-	l := c.lookup(n)
-	c.Stats.Record(l != nil)
-	if l != nil {
-		l.lru = c.tick
+	si, w, ok := c.find(n)
+	c.Stats.Record(ok)
+	if !ok {
+		return nil
 	}
-	return l
+	c.lrus[si*c.ways+uint64(w)] = c.tick
+	return &c.meta[si*c.ways+uint64(w)]
 }
 
 // Fill allocates n with the given state and permission, returning any
 // displaced victim. Filling a name already present just updates it.
 func (c *Cache) Fill(n addr.Name, st State, perm addr.Perm) (Victim, bool) {
 	c.tick++
-	if l := c.lookup(n); l != nil {
-		l.State = st
-		l.Perm = perm
-		l.lru = c.tick
-		return Victim{}, false
-	}
-	set := c.set(n)
-	victim := &set[0]
-	for i := range set {
-		if !set[i].Valid {
-			victim = &set[i]
+	k := n.Key() | keyValidBit
+	base := (n.Line() & c.setMask) * c.ways
+	keys := c.keys[base : base+c.ways]
+	lrus := c.lrus[base : base+c.ways]
+	// One pass resolves both questions: an existing way for n (update in
+	// place) and, failing that, the victim — the first strict minimum
+	// over the packed LRU stamps, which is the first free way when one
+	// exists (invalid ways carry stamp 0) and the LRU way otherwise. The
+	// value-tracking minimum lets the compiler emit conditional moves
+	// instead of a data-dependent branch per way.
+	victim, minLru := 0, ^uint64(0)
+	hit := -1
+	for i := range keys {
+		if keys[i] == k {
+			hit = i
 			break
 		}
-		if set[i].lru < victim.lru {
-			victim = &set[i]
+		if lv := lrus[i]; lv < minLru {
+			victim, minLru = i, lv
 		}
+	}
+	if hit >= 0 {
+		c.meta[base+uint64(hit)] = Line{State: st, Perm: perm}
+		lrus[hit] = c.tick
+		return Victim{}, false
 	}
 	var out Victim
 	evicted := false
-	if victim.Valid {
-		out = Victim{Name: victim.Name, Dirty: victim.Dirty()}
+	if vk := keys[victim]; vk != 0 {
+		out = Victim{Name: addr.NameFromKey(vk &^ keyValidBit), Dirty: c.meta[base+uint64(victim)].Dirty()}
 		evicted = true
 		c.Evicted.Inc()
 		if out.Dirty {
 			c.WriteBks.Inc()
 		}
 	}
-	*victim = Line{key: n.Key(), Valid: true, Name: n, State: st, Perm: perm, lru: c.tick}
+	c.meta[base+uint64(victim)] = Line{State: st, Perm: perm}
+	keys[victim] = k
+	lrus[victim] = c.tick
 	return out, evicted
+}
+
+// AccessFill is Access immediately followed, on a miss, by Fill — one set
+// scan resolves lookup, statistics, LRU, victim choice, and install. It is
+// byte-identical to the separate Access-then-Fill pair whenever nothing
+// touches the cache between the two calls (the LLC lookup path and the
+// index cache qualify; the private-cache fills do not, because a back-
+// invalidation may change the victim between their Access and Fill). On a
+// hit it returns the line and installs nothing.
+func (c *Cache) AccessFill(n addr.Name, st State, perm addr.Perm) (l *Line, v Victim, evicted bool) {
+	c.tick++
+	k := n.Key() | keyValidBit
+	base := (n.Line() & c.setMask) * c.ways
+	keys := c.keys[base : base+c.ways]
+	lrus := c.lrus[base : base+c.ways]
+	victim, minLru := 0, ^uint64(0)
+	hit := -1
+	for i := range keys {
+		if keys[i] == k {
+			hit = i
+			break
+		}
+		if lv := lrus[i]; lv < minLru {
+			victim, minLru = i, lv
+		}
+	}
+	if hit >= 0 {
+		c.Stats.Record(true)
+		lrus[hit] = c.tick
+		return &c.meta[base+uint64(hit)], Victim{}, false
+	}
+	c.Stats.Record(false)
+	c.tick++ // the fill's own tick, matching the separate-call sequence
+	if vk := keys[victim]; vk != 0 {
+		v = Victim{Name: addr.NameFromKey(vk &^ keyValidBit), Dirty: c.meta[base+uint64(victim)].Dirty()}
+		evicted = true
+		c.Evicted.Inc()
+		if v.Dirty {
+			c.WriteBks.Inc()
+		}
+	}
+	c.meta[base+uint64(victim)] = Line{State: st, Perm: perm}
+	keys[victim] = k
+	lrus[victim] = c.tick
+	return nil, v, evicted
+}
+
+// TouchSet reads every way of n's set and returns a checksum of the cached
+// tag keys. It mutates nothing — no LRU, no statistics, no state — so it is
+// semantically invisible to the simulation; the batched engine uses it to
+// pull the tag arrays an upcoming run of accesses will scan into the host
+// CPU's caches ahead of the serial dispatch loop. The checksum exists only
+// so the reads cannot be optimized away.
+func (c *Cache) TouchSet(n addr.Name) uint64 {
+	base := (n.Line() & c.setMask) * c.ways
+	keys := c.keys[base : base+c.ways]
+	lrus := c.lrus[base : base+c.ways]
+	var sum uint64
+	for i := range keys {
+		sum += keys[i] + lrus[i]
+	}
+	return sum
 }
 
 // Invalidate removes n if present, returning whether it was dirty.
 func (c *Cache) Invalidate(n addr.Name) (wasDirty, wasPresent bool) {
-	if l := c.lookup(n); l != nil {
-		wasDirty = l.Dirty()
-		*l = Line{}
-		return wasDirty, true
+	si, w, ok := c.find(n)
+	if !ok {
+		return false, false
 	}
-	return false, false
+	i := si*c.ways + uint64(w)
+	wasDirty = c.meta[i].Dirty()
+	c.meta[i] = Line{}
+	c.keys[i] = 0
+	c.lrus[i] = 0
+	return wasDirty, true
 }
 
 // Downgrade moves n to Shared (after a remote read snoop), returning whether
@@ -206,16 +316,15 @@ func (c *Cache) Downgrade(n addr.Name) (wasDirty bool) {
 // returns the number invalidated and how many were dirty. The OS uses this
 // for page remaps, synonym status changes, and permission revocations.
 func (c *Cache) FlushMatching(match func(addr.Name) bool) (flushed, dirty int) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := &c.sets[si][wi]
-			if l.Valid && match(l.Name) {
-				if l.Dirty() {
-					dirty++
-				}
-				*l = Line{}
-				flushed++
+	for i := range c.keys {
+		if c.keys[i] != 0 && match(c.nameAt(uint64(i))) {
+			if c.meta[i].Dirty() {
+				dirty++
 			}
+			c.meta[i] = Line{}
+			c.keys[i] = 0
+			c.lrus[i] = 0
+			flushed++
 		}
 	}
 	return flushed, dirty
@@ -231,13 +340,10 @@ func (c *Cache) FlushPage(page addr.Name) (flushed, dirty int) {
 // the paper's mechanism for r/o content sharing (Section III-D): permission
 // changes update cached copies rather than flushing them.
 func (c *Cache) SetPagePerm(page addr.Name, perm addr.Perm) (updated int) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := &c.sets[si][wi]
-			if l.Valid && l.Name.SamePage(page) {
-				l.Perm = perm
-				updated++
-			}
+	for i := range c.keys {
+		if c.keys[i] != 0 && c.nameAt(uint64(i)).SamePage(page) {
+			c.meta[i].Perm = perm
+			updated++
 		}
 	}
 	return updated
@@ -246,23 +352,20 @@ func (c *Cache) SetPagePerm(page addr.Name, perm addr.Perm) (updated int) {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].Valid {
-				n++
-			}
+	for i := range c.keys {
+		if c.keys[i] != 0 {
+			n++
 		}
 	}
 	return n
 }
 
-// ForEachLine calls fn for every valid line (used by invariant checks).
-func (c *Cache) ForEachLine(fn func(*Line)) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].Valid {
-				fn(&c.sets[si][wi])
-			}
+// ForEachLine calls fn for every valid line's name and coherence meta
+// (used by invariant checks).
+func (c *Cache) ForEachLine(fn func(addr.Name, *Line)) {
+	for i := range c.keys {
+		if c.keys[i] != 0 {
+			fn(c.nameAt(uint64(i)), &c.meta[i])
 		}
 	}
 }

@@ -187,7 +187,7 @@ func TestOccupancyAndForEach(t *testing.T) {
 		t.Errorf("occupancy = %d", c.Occupancy())
 	}
 	count := 0
-	c.ForEachLine(func(l *Line) { count++ })
+	c.ForEachLine(func(addr.Name, *Line) { count++ })
 	if count != 2 {
 		t.Errorf("ForEachLine visited %d", count)
 	}

@@ -137,6 +137,20 @@ func (h *Hierarchy) AccessScratch(core int, kind AccessKind, n addr.Name, perm a
 	return res
 }
 
+// TouchSets reads the tag ways of the sets a (core, kind, n) access will
+// scan — the proper L1, the private L2, and the LLC — without changing any
+// simulated state (no LRU, no statistics). The batched engine calls it for
+// a block of decoded lanes before dispatching them serially, overlapping
+// the host-memory latency of the tag fetches; results are byte-identical
+// with or without the touches. The returned checksum keeps the loads live.
+func (h *Hierarchy) TouchSets(core int, kind AccessKind, n addr.Name) uint64 {
+	l1 := h.l1d[core]
+	if kind == Fetch {
+		l1 = h.l1i[core]
+	}
+	return l1.TouchSet(n) + h.l2[core].TouchSet(n) + h.llc.TouchSet(n)
+}
+
 // access is the shared body; wb seeds res.Writebacks (nil to allocate).
 func (h *Hierarchy) access(core int, kind AccessKind, n addr.Name, perm addr.Perm, wb []addr.Name) AccessResult {
 	l1 := h.l1d[core]
@@ -179,28 +193,29 @@ func (h *Hierarchy) access(core int, kind AccessKind, n addr.Name, perm addr.Per
 	remoteState := h.snoop(core, n, kind == Write)
 
 	res.Latency += h.llc.Config().HitLatency
-	if l := h.llc.Access(n); l != nil {
-		res.HitLevel = 3
-		res.Perm = l.Perm
-		h.fillPrivate(core, kind, n, remoteState, l.Perm, &res)
-		return res
-	}
-
-	// LLC miss: the caller performs delayed translation + DRAM, then the
-	// block fills bottom-up. Record the fill now.
-	res.LLCMiss = true
-	res.Perm = perm
 	llcState := Exclusive
 	if kind == Write {
 		llcState = Modified
 	}
-	if v, ok := h.llc.Fill(n, llcState, perm); ok {
+	// Nothing touches the LLC between its lookup and its fill-on-miss, so
+	// the fused AccessFill (one set scan) is byte-identical to the pair.
+	if l, v, ok := h.llc.AccessFill(n, llcState, perm); l != nil {
+		res.HitLevel = 3
+		res.Perm = l.Perm
+		h.fillPrivate(core, kind, n, remoteState, l.Perm, &res)
+		return res
+	} else if ok {
 		h.backInvalidate(v.Name, &res)
 		if v.Dirty {
 			res.Writebacks = append(res.Writebacks, v.Name)
 			h.MemWritebacks.Inc()
 		}
 	}
+
+	// LLC miss: the caller performs delayed translation + DRAM, then the
+	// block fills bottom-up. Record the fill now.
+	res.LLCMiss = true
+	res.Perm = perm
 	h.fillPrivate(core, kind, n, remoteState, perm, &res)
 	return res
 }
@@ -322,8 +337,18 @@ func (h *Hierarchy) handleL2Victim(core int, v Victim) {
 func (h *Hierarchy) backInvalidate(n addr.Name, res *AccessResult) {
 	dirty := false
 	for c := 0; c < h.cfg.NumCores; c++ {
-		for _, pc := range []*Cache{h.l1d[c], h.l1i[c], h.l2[c]} {
-			if d, present := pc.Invalidate(n); present {
+		// Inclusion (L2 ⊇ L1d ∪ L1i, maintained by handleL2Victim) lets
+		// the L2 probe gate the L1 probes: a block absent from a core's
+		// L2 cannot be in either of its L1s, so most victims cost one
+		// set scan per core instead of three.
+		d2, present := h.l2[c].Invalidate(n)
+		if !present {
+			continue
+		}
+		h.BackInvals.Inc()
+		dirty = dirty || d2
+		for _, pc := range []*Cache{h.l1d[c], h.l1i[c]} {
+			if d, p := pc.Invalidate(n); p {
 				h.BackInvals.Inc()
 				dirty = dirty || d
 			}
@@ -407,8 +432,8 @@ func (h *Hierarchy) CheckInvariants() error {
 	for c := 0; c < h.cfg.NumCores; c++ {
 		for _, pc := range []*Cache{h.l1d[c], h.l1i[c], h.l2[c]} {
 			core := c
-			pc.ForEachLine(func(l *Line) {
-				holders[l.Name] = append(holders[l.Name], holder{core, l.State})
+			pc.ForEachLine(func(n addr.Name, l *Line) {
+				holders[n] = append(holders[n], holder{core, l.State})
 			})
 		}
 	}

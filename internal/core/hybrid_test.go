@@ -256,27 +256,27 @@ func TestDemandPagingFault(t *testing.T) {
 func checkSingleName(t *testing.T, m *HybridMMU, k *osmodel.Kernel) {
 	t.Helper()
 	owner := map[addr.PA]addr.Name{}
-	check := func(l *cache.Line) {
+	check := func(n addr.Name, _ *cache.Line) {
 		var pa addr.PA
-		if l.Name.Synonym {
-			pa = addr.PA(l.Name.Addr)
+		if n.Synonym {
+			pa = addr.PA(n.Addr)
 		} else {
-			p := k.Process(l.Name.ASID)
+			p := k.Process(n.ASID)
 			if p == nil {
 				return
 			}
-			got, ok := p.PT.Translate(addr.VA(l.Name.Addr))
+			got, ok := p.PT.Translate(addr.VA(n.Addr))
 			if !ok {
-				t.Errorf("cached line %v has no translation", l.Name)
+				t.Errorf("cached line %v has no translation", n)
 				return
 			}
 			pa = got
 		}
-		if prev, dup := owner[pa]; dup && prev != l.Name {
+		if prev, dup := owner[pa]; dup && prev != n {
 			t.Fatalf("physical block %#x cached under two names: %v and %v",
-				uint64(pa), prev, l.Name)
+				uint64(pa), prev, n)
 		}
-		owner[pa] = l.Name
+		owner[pa] = n
 	}
 	h := m.Hier
 	for c := 0; c < h.NumCores(); c++ {

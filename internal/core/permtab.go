@@ -51,6 +51,14 @@ func (t *permTable) idx(k permKey) uint64 {
 	return uint64(k) * 0x9e3779b97f4a7c15 >> t.shift
 }
 
+// touch reads k's home slot without interpreting it. The batched front
+// ends call it a block of requests ahead of the fillPerm probes so the
+// table's random-index loads — host-cache misses on large footprints —
+// issue in parallel instead of serially inside the decode loop.
+func (t *permTable) touch(k permKey) uint64 {
+	return t.slots[t.idx(k)]
+}
+
 func (t *permTable) get(k permKey) (addr.Perm, bool) {
 	for i := t.idx(k); ; i = (i + 1) & t.mask {
 		s := t.slots[i]

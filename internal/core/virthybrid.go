@@ -286,6 +286,81 @@ func (m *VirtHybridMMU) Route(req *Request, res *Result) pipeline.Decision {
 	return m.routeVirtual(req, res)
 }
 
+// prefetchPerms warms the shadow-permission slots for the next block of
+// requests, exactly as HybridMMU.prefetchPerms does. Reads only.
+func (m *VirtHybridMMU) prefetchPerms(reqs []Request) {
+	n := len(reqs)
+	if n > permPrefetchBlock {
+		n = permPrefetchBlock
+	}
+	var t uint64
+	for j := 0; j < n; j++ {
+		t += m.shadowPerm.touch(makePermKey(reqs[j].Proc.ASID, reqs[j].VA.Page()))
+	}
+	permTouchSink += t
+}
+
+// RouteBatch implements pipeline.BatchFrontEnd with the same quiet-probe /
+// commit discipline as the native hybrid MMU: non-synonym accesses (and
+// filter false positives) with a mapped, permission-satisfying guest page
+// decode purely, as do true synonyms hitting the synonym TLB; 2D walks and
+// OS faults stop the run for the scalar path.
+func (m *VirtHybridMMU) RouteBatch(reqs []Request, res []Result, dec []pipeline.Decision) int {
+	i := 0
+	for ; i < len(reqs); i++ {
+		if i%permPrefetchBlock == 0 {
+			m.prefetchPerms(reqs[i:])
+		}
+		req := &reqs[i]
+		isWrite := req.Kind == cache.Write
+		pr := m.pair(req.Proc)
+		if !pr.ProbeQuiet(req.VA) {
+			perm := m.fillPerm(req.Proc, req.VA)
+			if perm == addr.PermNone || (isWrite && !perm.AllowsWrite()) {
+				break
+			}
+			m.Acc.Access(energy.SynonymFilter, 2)
+			pr.CountNonCandidates(1)
+			m.NonSynonymAccesses.Inc()
+			dec[i] = pipeline.GoVirtual(perm)
+			continue
+		}
+		st := m.synTLB[req.Core]
+		e, hit := st.Probe(req.Proc.ASID, req.VA.Page())
+		if !hit {
+			break // 2D nested walk: impure
+		}
+		if e.NonSynonym {
+			perm := m.fillPerm(req.Proc, req.VA)
+			if perm == addr.PermNone || (isWrite && !perm.AllowsWrite()) {
+				break
+			}
+			m.Acc.Access(energy.SynonymFilter, 2)
+			pr.IsCandidate(req.VA)
+			m.SynonymCandidates.Inc()
+			m.Acc.Access(energy.SynonymTLB, 1)
+			res[i].Latency += st.Config().Latency
+			st.Lookup(req.Proc.ASID, req.VA.Page())
+			m.FalsePositives.Inc()
+			dec[i] = pipeline.GoVirtual(perm)
+			continue
+		}
+		if isWrite && !e.Perm.AllowsWrite() {
+			break
+		}
+		m.Acc.Access(energy.SynonymFilter, 2)
+		pr.IsCandidate(req.VA)
+		m.SynonymCandidates.Inc()
+		m.Acc.Access(energy.SynonymTLB, 1)
+		res[i].Latency += st.Config().Latency
+		st.Lookup(req.Proc.ASID, req.VA.Page())
+		m.TrueSynonymAccesses.Inc()
+		ma := addr.FrameToPA(e.PFN) + addr.PA(req.VA.PageOffset())
+		dec[i] = pipeline.GoPhysical(ma, e.Perm)
+	}
+	return i
+}
+
 // routeSynonym: TLB (gVA->MA) before L1, filled by 2D walks.
 func (m *VirtHybridMMU) routeSynonym(req *Request, res *Result) pipeline.Decision {
 	st := m.synTLB[req.Core]

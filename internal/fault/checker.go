@@ -177,8 +177,7 @@ func (c *Checker) checkNames(add func(error)) {
 		m[r.name.Key()] = r
 	}
 	walk := func(label string, ca *cache.Cache) {
-		ca.ForEachLine(func(l *cache.Line) {
-			n := l.Name
+		ca.ForEachLine(func(n addr.Name, l *cache.Line) {
 			if n.Synonym {
 				if c.cfg.SplitL1 {
 					// Outside the virtual L1, the physical address is the

@@ -169,8 +169,23 @@ func (a *Allocator) NumFreeExtents() int { return len(a.free) }
 // Store is the sparse backing store for physical pages that carry real
 // contents in the simulation (page-table pages and index-tree pages).
 // Ordinary data pages never allocate backing bytes.
+// memoSlots is the size of the Store's direct-mapped lookup memo. A
+// multi-level walk alternates between a handful of table pages, so a
+// single-entry memo thrashes; eight slots cover the working set of one
+// walk with room to spare.
+const memoSlots = 8
+
 type Store struct {
 	pages map[uint64]*[addr.PageSize]byte
+	// memoFrame/memoPage form a small direct-mapped memo over the map:
+	// slot f%memoSlots caches the page pointer for frame f (stored
+	// biased by one so the zero value means empty, frame 0 included).
+	// Walks read several words from a few table pages back to back, and
+	// the memo turns the repeat map probes into a compare. Pages are
+	// never removed from the map (ZeroPage clears in place), so cached
+	// pointers stay good.
+	memoFrame [memoSlots]uint64
+	memoPage  [memoSlots]*[addr.PageSize]byte
 }
 
 // NewStore creates an empty backing store.
@@ -180,11 +195,16 @@ func NewStore() *Store {
 
 func (s *Store) page(pa addr.PA) *[addr.PageSize]byte {
 	f := pa.Frame()
+	slot := f % memoSlots
+	if s.memoFrame[slot] == f+1 {
+		return s.memoPage[slot]
+	}
 	p, ok := s.pages[f]
 	if !ok {
 		p = new([addr.PageSize]byte)
 		s.pages[f] = p
 	}
+	s.memoFrame[slot], s.memoPage[slot] = f+1, p
 	return p
 }
 
@@ -193,9 +213,18 @@ func (s *Store) Read64(pa addr.PA) uint64 {
 	if uint64(pa)%8 != 0 {
 		panic(fmt.Sprintf("mem: unaligned Read64 at %#x", uint64(pa)))
 	}
-	p, ok := s.pages[pa.Frame()]
-	if !ok {
-		return 0
+	f := pa.Frame()
+	slot := f % memoSlots
+	p := s.memoPage[slot]
+	if s.memoFrame[slot] != f+1 {
+		var ok bool
+		p, ok = s.pages[f]
+		if !ok {
+			// Unbacked pages read as zero and are not memoized: a later
+			// Write64 may allocate backing for this frame.
+			return 0
+		}
+		s.memoFrame[slot], s.memoPage[slot] = f+1, p
 	}
 	off := pa.PageOffset()
 	return binary.LittleEndian.Uint64(p[off : off+8])

@@ -63,6 +63,11 @@ type Kernel struct {
 
 	procs    map[addr.ASID]*Process
 	nextProc uint32
+	// lastASID/lastProc memoize the most recent Process lookup: delayed
+	// translation resolves the same ASID for every LLC miss, and the memo
+	// turns that map probe into a compare. Exit invalidates the memo.
+	lastASID addr.ASID
+	lastProc *Process
 	// sharedExtents refcounts the physical extents behind ShareAnonymous
 	// mappings so they free when the last mapping goes away.
 	sharedExtents map[addr.PA]*sharedExtent
@@ -99,7 +104,16 @@ func (k *Kernel) AttachSink(s ShootdownSink) { k.sink = s }
 func (k *Kernel) VMID() uint32 { return k.cfg.VMID }
 
 // Process returns the process with the given ASID, or nil.
-func (k *Kernel) Process(asid addr.ASID) *Process { return k.procs[asid] }
+func (k *Kernel) Process(asid addr.ASID) *Process {
+	if k.lastProc != nil && k.lastASID == asid {
+		return k.lastProc
+	}
+	p := k.procs[asid]
+	if p != nil {
+		k.lastASID, k.lastProc = asid, p
+	}
+	return p
+}
 
 // ASIDs returns the address space identifiers of all live processes.
 func (k *Kernel) ASIDs() []addr.ASID {

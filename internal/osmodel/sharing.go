@@ -292,6 +292,9 @@ func (k *Kernel) Exit(p *Process) {
 	}
 	p.PT.Destroy()
 	delete(k.procs, p.ASID)
+	if k.lastASID == p.ASID {
+		k.lastProc = nil
+	}
 	// Flush every hardware trace of the ASID so it can be recycled; the
 	// hybrid design otherwise risks a new process hitting the old one's
 	// virtually named cache lines.

@@ -31,11 +31,8 @@ func NewIndexCache(sizeBytes int) *IndexCache {
 // Access looks up the node line at pa, filling on miss, and reports a hit.
 func (ic *IndexCache) Access(pa addr.PA) bool {
 	n := addr.PhysName(pa)
-	if ic.c.Access(n) != nil {
-		return true
-	}
-	ic.c.Fill(n, cache.Exclusive, addr.PermRO)
-	return false
+	l, _, _ := ic.c.AccessFill(n, cache.Exclusive, addr.PermRO)
+	return l != nil
 }
 
 // Stats returns the hit/miss statistics.
@@ -94,10 +91,11 @@ func NewSegCache(entries int) *SegCache {
 // boundary, in which case the entry cannot serve the far side).
 func (sc *SegCache) Lookup(asid addr.ASID, va addr.VA) (*Segment, bool) {
 	sc.tick++
-	set := sc.sets[va.HugePage()&sc.mask]
+	g := va.HugePage()
+	set := sc.sets[g&sc.mask]
 	for i := range set {
 		e := &set[i]
-		if e.valid && e.asid == asid && e.granule == va.HugePage() {
+		if e.valid && e.asid == asid && e.granule == g {
 			if e.seg.Contains(asid, va) {
 				e.lru = sc.tick
 				sc.Stats.Hit()
@@ -114,22 +112,25 @@ func (sc *SegCache) Lookup(asid addr.ASID, va addr.VA) (*Segment, bool) {
 // segment — so adjacent small segments do not thrash a shared granule.
 func (sc *SegCache) Fill(asid addr.ASID, va addr.VA, seg *Segment) {
 	sc.tick++
-	set := sc.sets[va.HugePage()&sc.mask]
-	slot := &set[0]
+	g := va.HugePage()
+	set := sc.sets[g&sc.mask]
+	victim, minLru := 0, ^uint64(0)
 	for i := range set {
-		if set[i].valid && set[i].asid == asid && set[i].granule == va.HugePage() && set[i].seg == seg {
-			slot = &set[i]
+		e := &set[i]
+		// The scan stops at the first way that is either free or an exact
+		// (asid, granule, segment) match — whichever comes first in way
+		// order, matching the historical fill behavior exactly.
+		if !e.valid || (e.asid == asid && e.granule == g && e.seg == seg) {
+			victim = i
 			break
 		}
-		if !set[i].valid {
-			slot = &set[i]
-			break
-		}
-		if set[i].lru < slot.lru {
-			slot = &set[i]
+		// Value-tracking strict minimum so the LRU race compiles to
+		// conditional moves instead of a data-dependent branch per way.
+		if lv := e.lru; lv < minLru {
+			victim, minLru = i, lv
 		}
 	}
-	*slot = scEntry{valid: true, asid: asid, granule: va.HugePage(), seg: seg, lru: sc.tick}
+	set[victim] = scEntry{valid: true, asid: asid, granule: g, seg: seg, lru: sc.tick}
 }
 
 // InvalidateSegment drops every entry pointing at seg (segment free/split).

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"hybridvc/internal/addr"
@@ -39,6 +40,15 @@ type Config struct {
 	// 0 (the default) disables collection; the run then attaches no probe
 	// and the hot path stays allocation-free.
 	Interval uint64
+	// Workers selects the run loop. 1 forces the serial loop; 0 (auto) and
+	// every other value enable the per-core parallel loop — one goroutine
+	// per simulated core over private chunk lanes, plan and access phases
+	// serialized in fixed core order by a token ring — whenever more than
+	// one core has work and no interval collector needs run-loop
+	// quiescence. Reports are byte-identical either way: the parallel loop
+	// performs every shared-state operation in exactly the serial order,
+	// only each core's private retire phase overlaps the ring.
+	Workers int
 }
 
 // DefaultConfig returns the standard run configuration.
@@ -66,13 +76,13 @@ type Simulator struct {
 	// loop (fetches slower than this stall the front end).
 	l1iHitLat uint64
 
-	// plans/reqs/results are the reusable chunk buffers of the batched
-	// access path: each Interleave-sized chunk is decoded into plans and
+	// lanes[c] holds core c's private chunk buffers of the batched access
+	// path: each Interleave-sized chunk is decoded into the plans lane and
 	// its references gathered into reqs, executed in one AccessBatch call
-	// into results, and then retired against the timing core.
-	plans   []stepPlan
-	reqs    []core.Request
-	results []core.Result
+	// into results, and then retired against the timing core. Private
+	// lanes let the parallel run loop overlap one core's retire with the
+	// next core's plan/access without copying.
+	lanes []chunkLanes
 
 	// ContextSwitches counts generator switches (filter reloads happen
 	// via the OS on real switches; here we count them for energy).
@@ -127,6 +137,13 @@ type stepPlan struct {
 	mispredict    bool
 }
 
+// chunkLanes are one core's reusable structure-of-arrays chunk buffers.
+type chunkLanes struct {
+	plans   []stepPlan
+	reqs    []core.Request
+	results []core.Result
+}
+
 // New creates a simulator. Generators are distributed round-robin over the
 // memory system's cores; it panics when no generators are supplied.
 func New(cfg Config, ms core.MemSystem, gens []*workload.Generator) *Simulator {
@@ -142,6 +159,9 @@ func New(cfg Config, ms core.MemSystem, gens []*workload.Generator) *Simulator {
 	if cfg.Timeslice == 0 {
 		cfg.Timeslice = 50_000
 	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
 	n := ms.Hierarchy().NumCores()
 	s := &Simulator{
 		cfg:       cfg,
@@ -151,6 +171,7 @@ func New(cfg Config, ms core.MemSystem, gens []*workload.Generator) *Simulator {
 		sliceLeft: make([]uint64, n),
 		fetchOff:  make([]uint64, n),
 		Retired:   make([]uint64, n),
+		lanes:     make([]chunkLanes, n),
 	}
 	for i, g := range gens {
 		c := i % n
@@ -263,13 +284,29 @@ func (s *Simulator) flushInterval() {
 // each instruction — so stateful components (DRAM open rows) see an
 // identical access stream.
 func (s *Simulator) runChunk(c int, n uint64) {
-	gens := s.perCore[c]
-	if len(gens) == 0 || n == 0 {
+	if len(s.perCore[c]) == 0 || n == 0 {
 		return
 	}
-	cc := s.cores[c]
-	s.plans = s.plans[:0]
-	s.reqs = s.reqs[:0]
+	ln := &s.lanes[c]
+	s.planChunk(c, n, ln)
+	s.accessChunk(ln)
+	s.retireChunk(c, ln)
+}
+
+// planChunk decodes the next n instructions of core c into its lanes:
+// generator stepping, timeslice bookkeeping, and the program-order gather
+// of fetch and data references. It mutates workload and OS-model state
+// shared across cores (generator positions, touched-page accounting), so
+// the parallel run loop serializes it in core order.
+func (s *Simulator) planChunk(c int, n uint64, ln *chunkLanes) {
+	gens := s.perCore[c]
+	if len(gens) == 0 || n == 0 {
+		ln.plans = ln.plans[:0]
+		ln.reqs = ln.reqs[:0]
+		return
+	}
+	ln.plans = ln.plans[:0]
+	ln.reqs = ln.reqs[:0]
 	retired := s.Retired[c]
 	fetchEvery := uint64(s.cfg.FetchEvery)
 
@@ -291,8 +328,8 @@ func (s *Simulator) runChunk(c int, n uint64) {
 		if retired%fetchEvery == 0 {
 			va := g.CodeStart + addr.VA(s.fetchOff[c]%g.CodeLen)
 			s.fetchOff[c] += addr.LineSize
-			p.fetch = int32(len(s.reqs))
-			s.reqs = append(s.reqs, core.Request{
+			p.fetch = int32(len(ln.reqs))
+			ln.reqs = append(ln.reqs, core.Request{
 				Core: c, Kind: cache.Fetch, VA: va, Proc: g.Proc,
 			})
 		}
@@ -307,20 +344,31 @@ func (s *Simulator) runChunk(c int, n uint64) {
 				kind = cache.Write
 				p.isStore = true
 			}
-			p.mem = int32(len(s.reqs))
-			s.reqs = append(s.reqs, core.Request{Core: c, Kind: kind, VA: in.VA, Proc: g.Proc})
+			p.mem = int32(len(ln.reqs))
+			ln.reqs = append(ln.reqs, core.Request{Core: c, Kind: kind, VA: in.VA, Proc: g.Proc})
 		}
-		s.plans = append(s.plans, p)
+		ln.plans = append(ln.plans, p)
 		retired++
 	}
+}
 
-	if cap(s.results) < len(s.reqs) {
-		s.results = make([]core.Result, len(s.reqs))
+// accessChunk executes a planned chunk's references against the shared
+// memory system in one AccessBatch call. Order-sensitive by construction;
+// the parallel run loop serializes it in core order.
+func (s *Simulator) accessChunk(ln *chunkLanes) {
+	if cap(ln.results) < len(ln.reqs) {
+		ln.results = make([]core.Result, len(ln.reqs))
 	}
-	res := s.results[:len(s.reqs)]
-	s.memsys.AccessBatch(s.reqs, res)
+	s.memsys.AccessBatch(ln.reqs, ln.results[:len(ln.reqs)])
+}
 
-	for _, p := range s.plans {
+// retireChunk replays a chunk's plans against core c's timing model. It
+// touches only core-private state (the cpu core and Retired[c]), so the
+// parallel run loop overlaps it with other cores' plan/access phases.
+func (s *Simulator) retireChunk(c int, ln *chunkLanes) {
+	cc := s.cores[c]
+	res := ln.results[:len(ln.reqs)]
+	for _, p := range ln.plans {
 		if p.mispredict {
 			// The fetch (if any) still ran, but a mispredicted branch's
 			// front-end stall is subsumed by the flush penalty.
@@ -349,13 +397,98 @@ func (s *Simulator) runChunk(c int, n uint64) {
 	}
 }
 
+// activeCores lists the cores with at least one generator, in core order.
+func (s *Simulator) activeCores() []int {
+	var act []int
+	for c := range s.perCore {
+		if len(s.perCore[c]) > 0 {
+			act = append(act, c)
+		}
+	}
+	return act
+}
+
+// runParallel is the per-core parallel run loop: one goroutine per active
+// core, chunk lanes private to each. A token ring serializes the
+// order-sensitive plan and access phases in exactly the serial loop's
+// fixed core order — worker j runs plan+access only while holding the
+// token, then passes it on (the last worker hands it back to the round
+// driver) — so every shared-state mutation happens in the serial order
+// and reports are byte-identical to Workers=1. Only the retire phase,
+// which touches nothing but the core's own timing model and lanes,
+// overlaps the ring. The driver checks Stop between rounds, exactly like
+// the serial loop, so interruption still quiesces at a chunk boundary.
+func (s *Simulator) runParallel(n uint64, act []int) {
+	ilv := uint64(s.cfg.Interleave)
+	rounds := n / ilv
+	if n%ilv != 0 {
+		rounds++
+	}
+	toks := make([]chan struct{}, len(act))
+	for j := range toks {
+		toks[j] = make(chan struct{}, 1)
+	}
+	ringOut := make(chan struct{}, 1)
+	var wg sync.WaitGroup
+	for j, c := range act {
+		wg.Add(1)
+		go func(j, c int) {
+			defer wg.Done()
+			var done uint64
+			for range toks[j] {
+				chunk := ilv
+				if done+chunk > n {
+					chunk = n - done
+				}
+				ln := &s.lanes[c]
+				s.planChunk(c, chunk, ln)
+				s.accessChunk(ln)
+				// Hand the token on before retiring: the next core's
+				// plan/access overlaps this core's private replay.
+				if j+1 < len(act) {
+					toks[j+1] <- struct{}{}
+				} else {
+					ringOut <- struct{}{}
+				}
+				s.retireChunk(c, ln)
+				done += chunk
+			}
+		}(j, c)
+	}
+	for r := uint64(0); r < rounds; r++ {
+		toks[0] <- struct{}{}
+		<-ringOut
+		if s.stop.Load() {
+			s.interrupted = true
+			break
+		}
+	}
+	// Every token send of the last granted round completed before ringOut
+	// was handed back, so each worker is (or will next be) blocked on its
+	// empty token channel; closing releases them after any in-flight
+	// retire finishes, and Wait publishes all retire state to this
+	// goroutine before Report reads it.
+	for _, t := range toks {
+		close(t)
+	}
+	wg.Wait()
+}
+
 // Run executes n instructions per core, interleaving cores in chunks so
 // they share the memory system roughly in lockstep. With cfg.Interval
 // set, the collector probe rides along (tee'd with any probe the caller
 // installed) and one stats.Interval is flushed each time total retired
 // instructions cross an interval boundary, plus a final partial interval;
 // the caller's probe is restored before Run returns.
+//
+// Unless cfg.Workers is 1, runs with more than one active core and no
+// interval collector take the parallel per-core loop (see runParallel);
+// its reports are byte-identical to the serial loop's.
 func (s *Simulator) Run(n uint64) Report {
+	if act := s.activeCores(); s.cfg.Workers != 1 && s.collector == nil && len(act) > 1 {
+		s.runParallel(n, act)
+		return s.Report()
+	}
 	var callerProbe core.Probe
 	if s.collector != nil {
 		callerProbe = s.memsys.Probe()

@@ -19,6 +19,11 @@ func smallHier(n int) cache.HierarchyConfig {
 
 func newHybridSim(t *testing.T, wl string, cores int) *Simulator {
 	t.Helper()
+	return newSimWithConfig(t, wl, cores, DefaultConfig())
+}
+
+func newSimWithConfig(t *testing.T, wl string, cores int, cfg Config) *Simulator {
+	t.Helper()
 	k := osmodel.NewKernel(osmodel.Config{PhysBytes: 16 << 30})
 	hcfg := core.DefaultHybridConfig(cores)
 	hcfg.Hier = smallHier(cores)
@@ -27,7 +32,7 @@ func newHybridSim(t *testing.T, wl string, cores int) *Simulator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(DefaultConfig(), ms, gens)
+	return New(cfg, ms, gens)
 }
 
 func TestRunProducesSaneReport(t *testing.T) {
@@ -182,6 +187,89 @@ func TestStopFlushesPartialReport(t *testing.T) {
 	}
 	if !strings.Contains(r.JSON(), `"interrupted": true`) {
 		t.Error("JSON report does not carry the interrupted flag")
+	}
+}
+
+// TestParallelRunMatchesSerial is the parallel run-loop parity gate:
+// with Workers=1 (forced serial) and Workers=0 (auto, parallel whenever
+// more than one core has work), identically seeded simulators must
+// produce byte-identical JSON reports and identical shared counters at
+// every core count — including Interleave edge cases (a chunk per
+// instruction, and one chunk far larger than the whole run). `make
+// sim-race` runs this test under the race detector at GOMAXPROCS=2
+// and GOMAXPROCS=8.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	cases := []struct {
+		cores int
+		ilv   int
+		n     uint64
+	}{
+		{1, 128, 40_000}, // single core: parallel loop ineligible, still identical
+		{2, 128, 40_000},
+		{8, 128, 40_000},
+		{2, 1, 2_000},        // one chunk per instruction
+		{2, 1 << 20, 40_000}, // chunk larger than the remaining run
+	}
+	for _, tc := range cases {
+		serialCfg := DefaultConfig()
+		serialCfg.Interleave = tc.ilv
+		serialCfg.Workers = 1
+		parallelCfg := serialCfg
+		parallelCfg.Workers = 0
+
+		serial := newSimWithConfig(t, "postgres", tc.cores, serialCfg)
+		parallel := newSimWithConfig(t, "postgres", tc.cores, parallelCfg)
+		a := serial.Run(tc.n)
+		b := parallel.Run(tc.n)
+		if aj, bj := a.JSON(), b.JSON(); aj != bj {
+			t.Errorf("cores=%d ilv=%d: reports differ\nserial:   %s\nparallel: %s",
+				tc.cores, tc.ilv, aj, bj)
+		}
+		if sc, pc := serial.ContextSwitches.Value(), parallel.ContextSwitches.Value(); sc != pc {
+			t.Errorf("cores=%d ilv=%d: context switches %d vs %d", tc.cores, tc.ilv, sc, pc)
+		}
+		for c := range serial.Retired {
+			if serial.Retired[c] != parallel.Retired[c] {
+				t.Errorf("cores=%d ilv=%d: core %d retired %d vs %d",
+					tc.cores, tc.ilv, c, serial.Retired[c], parallel.Retired[c])
+			}
+		}
+	}
+}
+
+// TestInterleaveValueIsNeutralOnOneCore pins that Interleave is purely an
+// implementation batch size: on a single core any value — 1, a prime, the
+// default, or one exceeding the whole run — yields byte-identical reports.
+func TestInterleaveValueIsNeutralOnOneCore(t *testing.T) {
+	var base string
+	for _, ilv := range []int{1, 7, 128, 1 << 20} {
+		cfg := DefaultConfig()
+		cfg.Interleave = ilv
+		r := newSimWithConfig(t, "mcf", 1, cfg).Run(3_333)
+		if got := r.JSON(); base == "" {
+			base = got
+		} else if got != base {
+			t.Errorf("Interleave=%d diverges:\n%s\nwant:\n%s", ilv, got, base)
+		}
+	}
+}
+
+// TestStopQuiescesParallelRun extends the interruption contract to the
+// parallel loop: Stop() still quiesces at a chunk-round boundary with a
+// valid partial report.
+func TestStopQuiescesParallelRun(t *testing.T) {
+	s := newHybridSim(t, "postgres", 4)
+	s.Stop()
+	r := s.Run(1_000_000)
+	if !s.Interrupted() || !r.Interrupted {
+		t.Fatalf("Interrupted() = %v, report.Interrupted = %v after Stop",
+			s.Interrupted(), r.Interrupted)
+	}
+	if r.Instructions == 0 || r.Instructions >= 4_000_000 {
+		t.Errorf("partial run retired %d instructions", r.Instructions)
+	}
+	if r.Cycles == 0 || r.IPC <= 0 {
+		t.Errorf("partial report is not valid: %+v", r)
 	}
 }
 
