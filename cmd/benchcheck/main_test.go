@@ -113,6 +113,32 @@ func TestCheckSpeedupFloorAppliesToNewOrgs(t *testing.T) {
 	}
 }
 
+func TestCheckSpeedupFloorCoversPayloadOrgs(t *testing.T) {
+	// The typed-payload organizations (victima, rlt-vc) land as fresh rows
+	// before the committed baseline carries them. They skip the throughput
+	// comparison like any new design point, but each must independently
+	// clear the batch/scalar floor — one failing row must be reported even
+	// when the other passes.
+	base := writeResults(t, "base.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000,"speedup":1.20}`)
+	fresh := writeResults(t, "fresh.json",
+		`{"org":"baseline","batch_refs_per_sec":1000000,"speedup":1.20},
+		 {"org":"victima","batch_refs_per_sec":700000,"speedup":1.15},
+		 {"org":"rlt-vc","batch_refs_per_sec":650000,"speedup":0.93}`)
+	regs, err := check(base, fresh, 0.10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "rlt-vc") || !strings.Contains(regs[0], "0.93") {
+		t.Errorf("want exactly the rlt-vc speedup regression, got %v", regs)
+	}
+	for _, r := range regs {
+		if strings.Contains(r, "victima") {
+			t.Errorf("victima cleared the floor but was flagged: %v", r)
+		}
+	}
+}
+
 func TestCheckNegativeFloorDisablesSpeedupGate(t *testing.T) {
 	base := writeResults(t, "base.json",
 		`{"org":"baseline","batch_refs_per_sec":1000000}`)

@@ -57,4 +57,6 @@ func ExampleOrganizations() {
 	// ovc
 	// virt-2d
 	// virt-hybrid
+	// victima
+	// rlt-vc
 }

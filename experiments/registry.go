@@ -132,6 +132,7 @@ func init() {
 		}
 		return tables, nil
 	}})
+	Register(Experiment{"xarch", "Translation architectures: victima and rlt-vc vs baseline TLB and hybrid Bloom filter", one(XArch)})
 	Register(Experiment{"parity", "Cross-organization stat fingerprint (golden refactor-parity check)", one(Parity)})
 	Register(Experiment{"faults", "Deterministic fault injection with runtime invariant checking", one(FaultSweep)})
 }

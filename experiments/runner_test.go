@@ -183,7 +183,7 @@ func TestRunnerSmallDeterminism(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
 	want := []string{"table1", "table2", "table3", "fig4", "fig7a", "fig7b",
-		"fig9", "fig10", "fig11", "multicore", "consolidation", "latency", "ablations", "parity", "faults"}
+		"fig9", "fig10", "fig11", "multicore", "consolidation", "latency", "ablations", "xarch", "parity", "faults"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d experiments %v, want %d", len(names), names, len(want))
 	}

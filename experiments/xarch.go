@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridvc"
+	"hybridvc/internal/baseline"
+	"hybridvc/internal/core"
+	"hybridvc/internal/sim"
+	"hybridvc/internal/stats"
+)
+
+// xarchOrgs are the translation architectures the comparison lab runs:
+// the conventional TLB baseline, the paper's hybrid design (Bloom filter +
+// many-segment delayed translation), and the two typed-payload designs —
+// Victima-style cached translation blocks and the exact reverse-lookup
+// table — which both steal LLC capacity from data instead of adding
+// dedicated translation storage.
+var xarchOrgs = []hybridvc.Organization{
+	hybridvc.Baseline, hybridvc.HybridManySegSC, hybridvc.Victima, hybridvc.RLTVC,
+}
+
+// XArch compares the translation architectures head to head on the parity
+// workloads: performance and translation energy alongside each design's
+// mechanism counters — front-end walks avoided, metadata blocks served
+// from the data caches, blocks installed and evicted (the capacity
+// competition), and synonym-filter false positives (zero by construction
+// for the exact reverse-lookup table, the fig4/table2-style comparison
+// point against the Bloom filter).
+func XArch(s Scale) (*stats.Table, error) {
+	insns := s.pick(30_000, 200_000)
+	simCfg := sim.DefaultConfig()
+	simCfg.Timeslice = 10_000
+
+	var cells []Cell
+	for _, org := range xarchOrgs {
+		for _, wl := range parityWorkloads {
+			cells = append(cells, Cell{
+				Label:        fmt.Sprintf("xarch/%s/%s", wl, org),
+				Config:       hybridvc.Config{Org: org, Cores: 1, Sim: simCfg},
+				Workloads:    []string{wl},
+				Instructions: insns,
+				Extract:      xarchRow(string(org), wl),
+			})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Translation architectures: cached translation blocks and reverse-lookup records vs TLB and Bloom filter",
+		"org", "workload", "cycles", "insns", "ipc", "xlat_pj",
+		"walks", "cached_hits", "fills", "evictions", "filter_fps")
+	for _, r := range results {
+		t.AddRow(r.Value.([]string)...)
+	}
+	return t, nil
+}
+
+// xarchRow extracts one cell's mechanism counters while the system is
+// alive. Columns without a counterpart in an organization render "-".
+func xarchRow(org, wl string) func(*hybridvc.System, sim.Report) (any, error) {
+	return func(sys *hybridvc.System, rep sim.Report) (any, error) {
+		walks, cached, fills, evictions, fps := "-", "-", "-", "-", "-"
+		switch m := sys.Mem.(type) {
+		case *baseline.Conventional:
+			walks = fmt.Sprintf("%d", m.TLBMissWalks.Value())
+		case *baseline.Victima:
+			walks = fmt.Sprintf("%d", m.TLBMissWalks.Value())
+			cached = fmt.Sprintf("%d", m.CachedXlatHits.Value())
+			fills = fmt.Sprintf("%d", m.XlatFills.Value())
+			evictions = fmt.Sprintf("%d", m.XlatEvictions.Value())
+		case *core.RLTVC:
+			walks = fmt.Sprintf("%d", m.RLTWalks.Value())
+			cached = fmt.Sprintf("%d", m.CachedRecordHits.Value())
+			fills = fmt.Sprintf("%d", m.RecordFills.Value())
+			evictions = fmt.Sprintf("%d", m.RecordEvictions.Value())
+			fps = fmt.Sprintf("%d", m.FalsePositives.Value())
+		case *core.HybridMMU:
+			fps = fmt.Sprintf("%d", m.FalsePositives.Value())
+		}
+		return []string{
+			org, wl,
+			fmt.Sprintf("%d", rep.Cycles),
+			fmt.Sprintf("%d", rep.Instructions),
+			fmt.Sprintf("%.6f", rep.IPC),
+			fmt.Sprintf("%.3f", rep.TranslationEnergyPJ),
+			walks, cached, fills, evictions, fps,
+		}, nil
+	}
+}

@@ -158,9 +158,21 @@ func TestAccessBatchZeroLength(t *testing.T) {
 // TestAccessBatchSteadyStateAllocs requires the batched hot path to run
 // allocation-free in the steady state: after a warm-up pass has grown the
 // engine's scratch buffers and filled the caches, repeated AccessBatch
-// calls over a fixed request set must not allocate at all.
+// calls over a fixed request set must not allocate at all. Beyond the
+// paper's flagship organization it pins the two payload-carrying designs,
+// whose front ends ride the same batch machinery over typed-payload
+// blocks.
 func TestAccessBatchSteadyStateAllocs(t *testing.T) {
-	sys := newHotpathSystem(t, hybridvc.HybridManySegSC, "gups")
+	for _, org := range []hybridvc.Organization{
+		hybridvc.HybridManySegSC, hybridvc.Victima, hybridvc.RLTVC,
+	} {
+		org := org
+		t.Run(string(org), func(t *testing.T) { testSteadyStateAllocs(t, org) })
+	}
+}
+
+func testSteadyStateAllocs(t *testing.T, org hybridvc.Organization) {
+	sys := newHotpathSystem(t, org, "gups")
 	g := sys.Generators()[0]
 
 	// A fixed read set over the code region: 256 lines fit the L1, so the

@@ -66,13 +66,21 @@ const (
 	Virt2D Organization = "virt-2d"
 	// VirtHybrid is the virtualized hybrid design (Section V).
 	VirtHybrid Organization = "virt-hybrid"
+	// Victima backs the conventional two-level TLB with cached translation
+	// blocks: TLB misses probe the L2/LLC for the PTE before walking, and
+	// walks install their leaves into the caches as typed-payload lines.
+	Victima Organization = "victima"
+	// RLTVC replaces the hybrid design's Bloom synonym filter with an
+	// exact reverse-lookup table whose record blocks are cached in the
+	// data hierarchy (zero false positives, capacity stolen from data).
+	RLTVC Organization = "rlt-vc"
 )
 
 // Organizations lists every selectable organization.
 func Organizations() []Organization {
 	return []Organization{
 		Baseline, Ideal, HybridDelayedTLB, HybridManySeg, HybridManySegSC,
-		Enigma, RMM, DirectSegment, OVC, Virt2D, VirtHybrid,
+		Enigma, RMM, DirectSegment, OVC, Virt2D, VirtHybrid, Victima, RLTVC,
 	}
 }
 
@@ -213,6 +221,12 @@ var orgTable = map[Organization]func(Config, *System) (core.MemSystem, error){
 	Virt2D: func(cfg Config, s *System) (core.MemSystem, error) {
 		return baseline.NewVirt2D(baselineConfig(cfg), s.VM), nil
 	},
+	Victima: func(cfg Config, s *System) (core.MemSystem, error) {
+		return baseline.NewVictima(baselineConfig(cfg), s.Kernel), nil
+	},
+	RLTVC: func(cfg Config, s *System) (core.MemSystem, error) {
+		return core.NewRLTVC(hybridSegConfig(cfg, true), s.Kernel), nil
+	},
 	VirtHybrid: func(cfg Config, s *System) (core.MemSystem, error) {
 		vc := core.DefaultVirtHybridConfig(cfg.Cores)
 		applyLLC(&vc.Hier.LLC.SizeBytes, cfg.LLCBytes)
@@ -290,6 +304,23 @@ func (s *System) AttachChecker() (*fault.Checker, error) {
 			Stat:  func() uint64 { return m.FalsePositives.Value() },
 			Event: func(p *core.CountingProbe) uint64 { return p.FalsePositives },
 		}}
+	case *core.RLTVC:
+		for i := 0; i < s.cfg.Cores; i++ {
+			cfg.TLBs = append(cfg.TLBs, fault.NamedTLB{Name: fmt.Sprintf("rlt%d", i), T: m.RLT(i)})
+		}
+		cfg.PayloadCoherence = m.PayloadCoherence
+		cfg.Extra = []fault.Recon{{
+			Label: "rlt-vc false positives",
+			Stat:  func() uint64 { return m.FalsePositives.Value() },
+			Event: func(p *core.CountingProbe) uint64 { return p.FalsePositives },
+		}}
+	case *baseline.Victima:
+		for i := 0; i < s.cfg.Cores; i++ {
+			cfg.TLBs = append(cfg.TLBs,
+				fault.NamedTLB{Name: fmt.Sprintf("victima-l1tlb%d", i), T: m.TLB(i).L1},
+				fault.NamedTLB{Name: fmt.Sprintf("victima-l2tlb%d", i), T: m.TLB(i).L2})
+		}
+		cfg.PayloadCoherence = m.PayloadCoherence
 	case *baseline.OVC:
 		cfg.SplitL1 = true
 	case *baseline.Virt2D:

@@ -164,10 +164,46 @@ func (p Perm) String() string {
 	return fmt.Sprintf("perm(%d)", uint8(p))
 }
 
+// PayloadKind discriminates what a cache block holds. Data lines are the
+// overwhelmingly common case and keep the zero value, so every existing
+// name constructor and comparison is unchanged. Translation and
+// synonym-record blocks let organizations park metadata in ordinary
+// L2/LLC ways (Victima-style cached PTE blocks, reverse-lookup-table
+// record blocks) under the same tag machinery as data.
+type PayloadKind uint8
+
+const (
+	// PayloadData is an ordinary data line (the zero value).
+	PayloadData PayloadKind = 0
+	// PayloadTranslation is a cached translation block: the payload word
+	// carries a packed PTE for the 4 KiB page named by Addr.
+	PayloadTranslation PayloadKind = 1
+	// PayloadSynRecord is a reverse-lookup synonym record block: the
+	// payload word carries per-page synonym status for a page group.
+	PayloadSynRecord PayloadKind = 2
+
+	// payloadKindBits is the key-packing width; kinds must stay below
+	// 1<<payloadKindBits.
+	payloadKindBits = 2
+)
+
+func (k PayloadKind) String() string {
+	switch k {
+	case PayloadData:
+		return "data"
+	case PayloadTranslation:
+		return "xlate"
+	case PayloadSynRecord:
+		return "synrec"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
 // Name is the unique identity of a cache block in the hybrid hierarchy: a
 // physical address for synonym blocks, or ASID+VA for non-synonym blocks.
 // It corresponds to the extended cache tag of Figure 2 (synonym bit, 16-bit
-// ASID, shared PA/VA tag field).
+// ASID, shared PA/VA tag field), extended with a payload-kind discriminator
+// so the same set/way storage can hold typed metadata blocks.
 type Name struct {
 	// Addr holds a line-aligned PA (Synonym) or VA (non-synonym). It is
 	// the first field so the compiler-generated equality used by cache
@@ -178,6 +214,9 @@ type Name struct {
 	// Synonym is the tag's synonym bit: true means Addr holds a physical
 	// address and ASID is ignored.
 	Synonym bool
+	// Kind discriminates the block payload; PayloadData (zero) for
+	// ordinary lines, so only metadata blocks ever set it.
+	Kind PayloadKind
 }
 
 // PhysName builds the name of a physically addressed (synonym) block.
@@ -190,12 +229,22 @@ func VirtName(asid ASID, va VA) Name {
 	return Name{ASID: asid, Addr: uint64(va.LineAligned())}
 }
 
+// PayloadName builds the name of a metadata block of the given kind. The
+// block is addressed virtually (ASID + page-aligned VA), so flush-by-ASID
+// and the checker's per-process audits treat it like any other
+// non-synonym resident.
+func PayloadName(kind PayloadKind, asid ASID, va VA) Name {
+	return Name{Kind: kind, ASID: asid, Addr: uint64(va.LineAligned())}
+}
+
 // Key packs the whole name into one comparable word: Addr is line-aligned
 // (low 6 bits clear) and canonical (< 2^48), leaving bit 0 for the synonym
-// bit and the top 16 bits for the ASID. Two names are equal iff their keys
-// are equal, so tag scans can compare a single word.
+// bit, bits 2..3 for the payload kind, and the top 16 bits for the ASID
+// (bit 1 stays clear — the cache borrows it as its valid bit). Two names
+// are equal iff their keys are equal, so tag scans compare a single word
+// and data/metadata blocks can never alias.
 func (n Name) Key() uint64 {
-	k := n.Addr | uint64(n.ASID)<<VABits
+	k := n.Addr | uint64(n.ASID)<<VABits | uint64(n.Kind&(1<<payloadKindBits-1))<<2
 	if n.Synonym {
 		k |= 1
 	}
@@ -205,13 +254,15 @@ func (n Name) Key() uint64 {
 // NameFromKey inverts Key: it rebuilds the Name a key value was packed
 // from. The packing is bijective — Addr occupies the canonical low 48 bits
 // (line-aligned, so bits 0..5 are clear), bit 0 carries the synonym flag,
-// and the ASID sits above — which is what lets the cache keep only packed
-// keys and reconstruct victim and flush names on the slow paths.
+// bits 2..3 the payload kind, and the ASID sits above — which is what lets
+// the cache keep only packed keys and reconstruct victim and flush names
+// on the slow paths.
 func NameFromKey(k uint64) Name {
 	return Name{
-		Addr:    k &^ 1 & (1<<VABits - 1),
+		Addr:    k &^ (LineSize - 1) & (1<<VABits - 1),
 		ASID:    ASID(k >> VABits),
 		Synonym: k&1 != 0,
+		Kind:    PayloadKind(k >> 2 & (1<<payloadKindBits - 1)),
 	}
 }
 
@@ -223,14 +274,21 @@ func (n Name) Page() uint64 { return n.Addr >> PageBits }
 
 // SamePage reports whether the name falls in the given page of the given
 // address space kind: for synonym names the page is a physical frame, for
-// non-synonym names it is (asid, virtual page).
+// non-synonym names it is (asid, virtual page). Payload kinds are part of
+// the identity, so a data-page flush never sweeps up a metadata block that
+// happens to be named by the same page.
 func (n Name) SamePage(other Name) bool {
-	return n.Synonym == other.Synonym && n.ASID == other.ASID && n.Page() == other.Page()
+	return n.Synonym == other.Synonym && n.Kind == other.Kind &&
+		n.ASID == other.ASID && n.Page() == other.Page()
 }
 
 func (n Name) String() string {
-	if n.Synonym {
-		return fmt.Sprintf("P:%#x", n.Addr)
+	prefix := ""
+	if n.Kind != PayloadData {
+		prefix = n.Kind.String() + ":"
 	}
-	return fmt.Sprintf("V:%s:%#x", n.ASID, n.Addr)
+	if n.Synonym {
+		return fmt.Sprintf("%sP:%#x", prefix, n.Addr)
+	}
+	return fmt.Sprintf("%sV:%s:%#x", prefix, n.ASID, n.Addr)
 }

@@ -395,15 +395,32 @@ func (r *RangeTLB) Lookup(asid addr.ASID, va addr.VA) (*segment.Segment, bool) {
 	return nil, false
 }
 
-// Probe finds a covering range without touching LRU or statistics (the
-// batched route path probes quietly, then commits via Lookup).
-func (r *RangeTLB) Probe(asid addr.ASID, va addr.VA) (*segment.Segment, bool) {
-	for _, s := range r.entries {
+// Probe finds a covering range without touching LRU or statistics,
+// returning its index so the batched route path can commit the hit with
+// Touch instead of rescanning the table.
+func (r *RangeTLB) Probe(asid addr.ASID, va addr.VA) (*segment.Segment, int, bool) {
+	for i, s := range r.entries {
 		if s.Contains(asid, va) {
-			return s, true
+			return s, i, true
 		}
 	}
-	return nil, false
+	return nil, -1, false
+}
+
+// Touch commits a quiet Probe hit at index i: it advances the clock,
+// promotes the entry to MRU, and records the hit — exactly the bookkeeping
+// Lookup would have done, without rescanning the table.
+func (r *RangeTLB) Touch(i int) {
+	r.tick++
+	r.lru[i] = r.tick
+	r.Stats.Hit()
+}
+
+// RecordMiss commits a quiet probe miss: it advances the clock and records
+// the miss Lookup would have recorded.
+func (r *RangeTLB) RecordMiss() {
+	r.tick++
+	r.Stats.Miss()
 }
 
 // Insert caches a range, evicting the LRU entry when full.
@@ -451,6 +468,17 @@ type RMM struct {
 
 	// RangeWalks counts range-table fills after range TLB misses.
 	RangeWalks stats.Counter
+
+	// missMemo records that RouteBatch just probed the L1 TLB and the
+	// range TLB for (core, asid, vpn) and both missed. The engine scalar-
+	// processes that stopper immediately, so the very next Route consumes
+	// the memo and commits both misses directly instead of rescanning the
+	// TLB set and the 32-entry range table. One-shot: cleared
+	// unconditionally at Route entry and on any shootdown.
+	missMemoValid bool
+	missMemoCore  int
+	missMemoASID  addr.ASID
+	missMemoVPN   uint64
 }
 
 // RMMRangeEntries is RMM's per-core range TLB capacity.
@@ -481,8 +509,21 @@ func (r *RMM) Route(req *core.Request, res *core.Result) pipeline.Decision {
 	var pa addr.PA
 	var perm addr.Perm
 
+	memoMiss := r.missMemoValid && r.missMemoCore == req.Core &&
+		r.missMemoASID == req.Proc.ASID && r.missMemoVPN == req.VA.Page()
+	r.missMemoValid = false
 	r.Acc.Access(energy.L1TLB, 1)
-	if e, ok := r.l1tlbs[req.Core].Lookup(req.Proc.ASID, req.VA.Page()); ok {
+	var e *tlb.Entry
+	var ok bool
+	if memoMiss {
+		// RouteBatch already scanned the L1 TLB set and the range table and
+		// missed both; commit the clock ticks and statistics those lookups
+		// would have recorded and fall through to the range walk.
+		r.l1tlbs[req.Core].RecordMiss()
+	} else {
+		e, ok = r.l1tlbs[req.Core].Lookup(req.Proc.ASID, req.VA.Page())
+	}
+	if ok {
 		if p := r.Probe(); p != nil {
 			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBL1, Hit: true})
 		}
@@ -495,7 +536,13 @@ func (r *RMM) Route(req *core.Request, res *core.Result) pipeline.Decision {
 		// Range TLB at the L2 TLB position: 7 cycles on the critical path.
 		r.Acc.Access(energy.SegmentTable, 1)
 		res.Latency += 7
-		rseg, rok := r.ranges[req.Core].Lookup(req.Proc.ASID, req.VA)
+		var rseg *segment.Segment
+		var rok bool
+		if memoMiss {
+			r.ranges[req.Core].RecordMiss()
+		} else {
+			rseg, rok = r.ranges[req.Core].Lookup(req.Proc.ASID, req.VA)
+		}
 		if p := r.Probe(); p != nil {
 			p.TLB(pipeline.TLBEvent{Core: req.Core, Level: pipeline.TLBRange, Hit: rok})
 		}
@@ -541,9 +588,10 @@ func (r *RMM) Route(req *core.Request, res *core.Result) pipeline.Decision {
 }
 
 // RouteBatch implements pipeline.BatchFrontEnd: L1 TLB hits and range TLB
-// hits decode purely (probed quietly, committed in element order with the
-// L1 refill the scalar range path performs); range walks and write faults
-// stop the run.
+// hits decode purely — probed quietly, then committed with tlb.Touch /
+// RecordMiss and the L1 refill the scalar range path performs, without
+// rescanning either structure. Range walks and write faults stop the run,
+// leaving the all-levels-missed memo for the scalar redo.
 func (r *RMM) RouteBatch(reqs []core.Request, res []core.Result, dec []pipeline.Decision) int {
 	i := 0
 	for ; i < len(reqs); i++ {
@@ -558,23 +606,28 @@ func (r *RMM) RouteBatch(reqs []core.Request, res []core.Result, dec []pipeline.
 				break
 			}
 			r.Acc.Access(energy.L1TLB, 1)
-			l1.Lookup(req.Proc.ASID, req.VA.Page())
-		} else if seg, ok := r.ranges[req.Core].Probe(req.Proc.ASID, req.VA); ok {
+			l1.Touch(e)
+		} else if seg, si, ok := r.ranges[req.Core].Probe(req.Proc.ASID, req.VA); ok {
 			pa = seg.Translate(req.VA)
 			perm = seg.Perm
 			if req.Kind == cache.Write && !perm.AllowsWrite() {
 				break
 			}
 			r.Acc.Access(energy.L1TLB, 1)
-			l1.Lookup(req.Proc.ASID, req.VA.Page())
+			l1.RecordMiss()
 			r.Acc.Access(energy.SegmentTable, 1)
 			res[i].Latency += 7
-			r.ranges[req.Core].Lookup(req.Proc.ASID, req.VA)
+			r.ranges[req.Core].Touch(si)
 			l1.Insert(tlb.Entry{
 				ASID: req.Proc.ASID, VPN: req.VA.Page(), PFN: pa.Frame(), Perm: perm,
 			})
 		} else {
-			break // range walk: impure
+			// Range walk: the scalar path fills. Leave a memo so its Route
+			// does not rescan the TLB set and range table this pass just
+			// probed.
+			r.missMemoValid, r.missMemoCore = true, req.Core
+			r.missMemoASID, r.missMemoVPN = req.Proc.ASID, req.VA.Page()
+			break
 		}
 		dec[i] = pipeline.GoPhysical(pa, perm)
 	}
@@ -583,6 +636,7 @@ func (r *RMM) RouteBatch(reqs []core.Request, res []core.Result, dec []pipeline.
 
 // TLBShootdown implements osmodel.ShootdownSink.
 func (r *RMM) TLBShootdown(asid addr.ASID, vpn uint64) {
+	r.missMemoValid = false
 	for _, t := range r.l1tlbs {
 		t.Shootdown(asid, vpn)
 	}
@@ -607,6 +661,7 @@ func (r *RMM) FilterUpdate(addr.ASID) {}
 
 // FlushASID implements osmodel.ShootdownSink.
 func (r *RMM) FlushASID(asid addr.ASID) {
+	r.missMemoValid = false
 	for _, t := range r.l1tlbs {
 		t.FlushASID(asid)
 	}

@@ -76,7 +76,8 @@ type Cache struct {
 	// hot set scans compare one contiguous word per way instead of
 	// striding through per-way structs. A valid way stores Name.Key()
 	// with keyValidBit set (bit 1 is always clear in a key: addresses are
-	// line-aligned and bit 0 is the synonym bit); invalid ways store 0,
+	// line-aligned, bit 0 is the synonym bit, and bits 2..3 carry the
+	// payload kind); invalid ways store 0,
 	// so a single compare per way resolves both tag match and validity,
 	// and the full block name is recovered with addr.NameFromKey.
 	keys []uint64
@@ -129,8 +130,9 @@ func (c *Cache) nameAt(i uint64) addr.Name {
 }
 
 // keyValidBit marks an occupied way in the packed key mirror. Name.Key()
-// never sets bit 1 (addresses are line-aligned, bit 0 is the synonym
-// bit), so key|keyValidBit is nonzero and collides with no other name.
+// never sets bit 1 (addresses are line-aligned, bit 0 is the synonym bit,
+// bits 2..3 hold the payload kind), so key|keyValidBit is nonzero and
+// collides with no other name.
 const keyValidBit = 1 << 1
 
 // find locates n's way, scanning the packed key mirror: it returns the set

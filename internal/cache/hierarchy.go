@@ -80,6 +80,12 @@ type Hierarchy struct {
 	// wbScratch backs AccessScratch results so the batched hot path does
 	// not allocate a Writebacks slice per reference.
 	wbScratch []addr.Name
+
+	// payloads maps metadata block names (Kind != PayloadData) resident
+	// in the LLC to their one-word payloads; payloadListener is notified
+	// when such a block is evicted or flushed.
+	payloads        *payloadTable
+	payloadListener PayloadListener
 }
 
 // NewHierarchy builds the hierarchy. It panics for a non-positive core
@@ -88,7 +94,7 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	if cfg.NumCores <= 0 {
 		panic(fmt.Sprintf("cache: invalid core count %d", cfg.NumCores))
 	}
-	h := &Hierarchy{cfg: cfg, llc: New(cfg.LLC)}
+	h := &Hierarchy{cfg: cfg, llc: New(cfg.LLC), payloads: newPayloadTable()}
 	for i := 0; i < cfg.NumCores; i++ {
 		ic, dc, l2 := cfg.L1I, cfg.L1D, cfg.L2
 		ic.Name = fmt.Sprintf("%s[%d]", ic.Name, i)
@@ -333,8 +339,13 @@ func (h *Hierarchy) handleL2Victim(core int, v Victim) {
 // backInvalidate removes an LLC victim from every private cache (inclusive
 // LLC), folding any dirtier private copy into the writeback. res may be
 // nil when the caller has no use for the writeback name (dirty absorption,
-// where the data lives on in the LLC).
+// where the data lives on in the LLC). Metadata victims additionally drop
+// their payload entry and notify the owner — the eviction half of the
+// payload residency contract.
 func (h *Hierarchy) backInvalidate(n addr.Name, res *AccessResult) {
+	if n.Kind != addr.PayloadData {
+		h.evictPayload(n)
+	}
 	dirty := false
 	for c := 0; c < h.cfg.NumCores; c++ {
 		// Inclusion (L2 ⊇ L1d ∪ L1i, maintained by handleL2Victim) lets
@@ -404,7 +415,9 @@ func (h *Hierarchy) SetPagePerm(page addr.Name, perm addr.Perm) (updated int) {
 }
 
 // FlushASID removes every line belonging to the address space (used when an
-// address space is destroyed and its ASID recycled).
+// address space is destroyed and its ASID recycled). Metadata blocks are
+// virtually named, so the match catches them too; their payload entries are
+// swept afterwards with the usual eviction notification.
 func (h *Hierarchy) FlushASID(asid addr.ASID) (flushed int) {
 	match := func(n addr.Name) bool { return !n.Synonym && n.ASID == asid }
 	for c := 0; c < h.cfg.NumCores; c++ {
@@ -414,7 +427,23 @@ func (h *Hierarchy) FlushASID(asid addr.ASID) (flushed int) {
 		}
 	}
 	f, _ := h.llc.FlushMatching(match)
+	h.flushPayloadASID(asid)
 	return flushed + f
+}
+
+// flushPayloadASID drops (with notification) every payload entry whose
+// block belongs to the address space. The two-pass shape keeps the table
+// iteration free of concurrent mutation.
+func (h *Hierarchy) flushPayloadASID(asid addr.ASID) {
+	var doomed []uint64
+	h.payloads.forEach(func(k, _ uint64) {
+		if n := addr.NameFromKey(k); !n.Synonym && n.ASID == asid {
+			doomed = append(doomed, k)
+		}
+	})
+	for _, k := range doomed {
+		h.evictPayload(addr.NameFromKey(k))
+	}
 }
 
 // CheckInvariants verifies structural invariants and returns an error
@@ -456,5 +485,6 @@ func (h *Hierarchy) CheckInvariants() error {
 			return fmt.Errorf("cache: %v cached privately but absent from LLC", n)
 		}
 	}
-	return nil
+	// Metadata payloads must mirror LLC residency exactly.
+	return h.checkPayloadResidency()
 }

@@ -59,6 +59,11 @@ type CheckerConfig struct {
 	NestedWalks bool
 	// TLBs lists translation structures to audit against the page tables.
 	TLBs []NamedTLB
+	// PayloadCoherence audits one cached metadata block (typed-payload
+	// line) against the authoritative OS structures; organizations that
+	// park translations or synonym records in the caches supply it. Nil
+	// when the organization caches no metadata.
+	PayloadCoherence func(n addr.Name, payload uint64) error
 	// Extra adds organization-specific reconciliation pairs (for example
 	// the hybrid MMU's false-positive counter against the probe's
 	// FalsePositive events).
@@ -140,6 +145,7 @@ func (c *Checker) Check() error {
 	c.checkNames(add)
 	c.checkFilters(add)
 	c.checkTLBs(add)
+	c.checkPayloads(add)
 	c.checkStats(add)
 	if !c.cfg.SplitL1 {
 		add(c.cfg.Mem.Hierarchy().CheckInvariants())
@@ -178,6 +184,13 @@ func (c *Checker) checkNames(add func(error)) {
 	}
 	walk := func(label string, ca *cache.Cache) {
 		ca.ForEachLine(func(n addr.Name, l *cache.Line) {
+			if n.Kind != addr.PayloadData {
+				// Metadata blocks (cached translations, synonym records) are
+				// named by the virtual page they describe, not by data they
+				// hold, so they never alias a data line; checkPayloads audits
+				// them against the OS structures instead.
+				return
+			}
 			if n.Synonym {
 				if c.cfg.SplitL1 {
 					// Outside the virtual L1, the physical address is the
@@ -307,6 +320,19 @@ func (c *Checker) checkTLBs(add func(error)) {
 			}
 		})
 	}
+}
+
+// checkPayloads verifies every cached metadata block against the
+// authoritative OS structures through the organization's PayloadCoherence
+// hook (translation blocks must agree with the page tables, synonym
+// records with the live synonym ranges).
+func (c *Checker) checkPayloads(add func(error)) {
+	if c.cfg.PayloadCoherence == nil {
+		return
+	}
+	c.cfg.Mem.Hierarchy().ForEachPayload(func(n addr.Name, payload uint64) {
+		add(c.cfg.PayloadCoherence(n, payload))
+	})
 }
 
 // checkStats reconciles probe event counts against the memory system's

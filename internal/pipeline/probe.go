@@ -81,11 +81,14 @@ const (
 	TLBHuge                    // 2 MiB split TLB (conventional baseline)
 	TLBDelayed                 // post-LLC delayed TLB
 	TLBRange                   // RMM range TLB
+	TLBXlatCache               // cached metadata block probe in L2/LLC (victima, rlt-vc)
+	TLBRLT                     // per-core reverse-lookup record cache (rlt-vc)
 	NumTLBLevels
 )
 
 var tlbLevelNames = [NumTLBLevels]string{
 	"syn-tlb", "l1-tlb", "l2-tlb", "huge-tlb", "delayed-tlb", "range-tlb",
+	"xlat-cache", "rlt",
 }
 
 func (l TLBLevel) String() string {

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"hybridvc"
 	"hybridvc/experiments"
 	"hybridvc/internal/service"
 	"hybridvc/internal/service/client"
@@ -170,6 +171,39 @@ func TestCatalogEndpoints(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Draining {
 		t.Errorf("health = %+v, want ok", h)
+	}
+}
+
+// TestOrgsCatalogMatchesOrganizations pins the discovery contract: the
+// /v1/orgs organization list is generated from hybridvc.Organizations(),
+// so a newly registered organization (the typed-payload designs victima
+// and rlt-vc being the latest) appears to service clients automatically,
+// in canonical order and with the right virtualization flag — no schema
+// bump, no hand-maintained list to drift.
+func TestOrgsCatalogMatchesOrganizations(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1})
+	cat, err := c.Orgs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hybridvc.Organizations()
+	if len(cat.Organizations) != len(want) {
+		t.Fatalf("/v1/orgs lists %d organizations, registry has %d", len(cat.Organizations), len(want))
+	}
+	seen := map[string]bool{}
+	for i, o := range cat.Organizations {
+		if o.Name != string(want[i]) {
+			t.Errorf("org %d = %q, want %q (canonical order)", i, o.Name, want[i])
+		}
+		if o.Virtualized != want[i].Virtualized() {
+			t.Errorf("org %s virtualized = %v, want %v", o.Name, o.Virtualized, want[i].Virtualized())
+		}
+		seen[o.Name] = true
+	}
+	for _, name := range []string{"victima", "rlt-vc"} {
+		if !seen[name] {
+			t.Errorf("newly added organization %q missing from /v1/orgs", name)
+		}
 	}
 }
 

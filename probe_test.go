@@ -110,6 +110,24 @@ func TestProbeCountsMatchStats(t *testing.T) {
 				eq("range walks",
 					cp.TLBLookups[pipeline.TLBRange]-cp.TLBHits[pipeline.TLBRange],
 					m.RangeWalks.Value())
+			case *baseline.Victima:
+				eq("TLB miss walks",
+					cp.TLBLookups[pipeline.TLBXlatCache]-cp.TLBHits[pipeline.TLBXlatCache],
+					m.TLBMissWalks.Value())
+				eq("cached xlat hits", cp.TLBHits[pipeline.TLBXlatCache], m.CachedXlatHits.Value())
+			case *core.RLTVC:
+				eq("rlt lookups", cp.TLBLookups[pipeline.TLBRLT], cp.RouteTotal)
+				eq("filter probes", cp.FilterProbes,
+					m.SynonymCandidates.Value()+m.NonSynonymAccesses.Value())
+				eq("synonym candidates", cp.FilterCandidates, m.SynonymCandidates.Value())
+				eq("false positives (exact records)", cp.FalsePositives, 0)
+				eq("false positives counter", m.FalsePositives.Value(), 0)
+				eq("record rebuilds",
+					cp.TLBLookups[pipeline.TLBXlatCache]-cp.TLBHits[pipeline.TLBXlatCache],
+					m.RLTWalks.Value())
+				eq("cached record hits", cp.TLBHits[pipeline.TLBXlatCache], m.CachedRecordHits.Value())
+				eq("delayed demand", cp.DelayedDemand, m.DelayedTranslations.Value())
+				eq("delayed writebacks", cp.DelayedWritebacks, m.WritebackXlations.Value())
 			case *baseline.OVC:
 				// OVC probes its (vestigial) filter on every reference.
 				eq("filter probes", cp.FilterProbes, cp.RouteTotal)
