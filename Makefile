@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race sim-race staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
+.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race sim-race metrics-lint staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
 
 all: build
 
@@ -26,7 +26,7 @@ race:
 # Set BENCH_CHECK=1 to also gate hot-path throughput against the
 # committed BENCH_hotpath.json (off by default: benchmark wall time and
 # machine-to-machine variance don't belong in every CI run).
-ci: vet staticcheck govulncheck test race service-race sim-race parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
+ci: vet staticcheck govulncheck test race service-race sim-race metrics-lint parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
 
 # service-race runs the hvcd service integration suite alone under the
 # race detector: concurrent clients submitting/watching/cancelling jobs
@@ -34,6 +34,13 @@ ci: vet staticcheck govulncheck test race service-race sim-race parity invariant
 # so it gets its own CI line even though `race` also covers it.
 service-race:
 	$(GO) test -race -count=1 ./internal/service/...
+
+# metrics-lint boots an in-process daemon, runs jobs through it, scrapes
+# GET /metrics as a Prometheus client would and validates the exposition
+# is well-formed (TYPE lines, name grammar, cumulative le buckets, +Inf
+# == _count) with the repo's own parser — no external tooling required.
+metrics-lint:
+	$(GO) test -run TestMetricsLint -count=1 ./internal/service
 
 # sim-race runs the parallel run-loop parity test under the race
 # detector at two scheduler widths: narrow (GOMAXPROCS=2 — maximal

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +33,9 @@ import (
 	"hybridvc/internal/service/client"
 	"hybridvc/internal/stats"
 )
+
+// stdout is the command output sink, a variable so tests can capture it.
+var stdout io.Writer = os.Stdout
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8077", "hvcd base URL")
@@ -70,7 +74,7 @@ func main() {
 	case "health":
 		err = cmdHealth(ctx, c)
 	case "metrics":
-		err = cmdMetrics(ctx, c)
+		err = cmdMetrics(ctx, c, args)
 	case "bench":
 		err = cmdBench(ctx, c, args)
 	default:
@@ -93,13 +97,13 @@ commands:
   submit       submit a sim job (-org, -workloads, -insns, ...) or sweep (-sweep <experiment>)
   status       print one job's status and report
   watch        poll a job until it finishes, then print the report
-  timeline     stream a job's NDJSON interval time-series
+  timeline     stream a job's interval time-series (NDJSON; -sse uses Server-Sent Events)
   cancel       cancel a job
   jobs         list jobs
   orgs         list organizations and workloads
   experiments  list registered experiments
   health       daemon health
-  metrics      daemon counters
+  metrics      daemon counters (-prom for Prometheus text format)
   bench        load-generate and record sustained jobs/sec
 `)
 }
@@ -144,8 +148,13 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("job %s  state=%s  cached=%v  deduped=%v  key=%.16s…\n",
+	fmt.Fprintf(stdout, "job %s  state=%s  cached=%v  deduped=%v  key=%.16s…\n",
 		resp.ID, resp.State, resp.Cached, resp.Deduped, resp.Key)
+	origin := ""
+	if resp.OriginLineage != "" && resp.OriginLineage != resp.Lineage {
+		origin = "  origin=" + resp.OriginLineage
+	}
+	fmt.Fprintf(stdout, "lineage %s%s\n", resp.Lineage, origin)
 	if !*wait {
 		return nil
 	}
@@ -161,7 +170,7 @@ func oneArg(args []string, cmd string) (string, error) {
 
 func printStatus(st service.JobStatus) {
 	b, _ := json.MarshalIndent(st, "", "  ")
-	fmt.Println(string(b))
+	fmt.Fprintln(stdout, string(b))
 }
 
 func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
@@ -198,14 +207,20 @@ func cmdWatch(ctx context.Context, c *client.Client, args []string) error {
 }
 
 func cmdTimeline(ctx context.Context, c *client.Client, args []string) error {
-	id, err := oneArg(args, "timeline")
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	sse := fs.Bool("sse", false, "stream as Server-Sent Events instead of NDJSON")
+	resume := fs.Int("resume", -1, "with -sse, resume after this interval index")
+	fs.Parse(args)
+	id, err := oneArg(fs.Args(), "timeline")
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	return c.Timeline(ctx, id, true, func(iv stats.Interval) error {
-		return enc.Encode(iv)
-	})
+	enc := json.NewEncoder(stdout)
+	print := func(iv stats.Interval) error { return enc.Encode(iv) }
+	if *sse {
+		return c.TimelineSSE(ctx, id, *resume, true, print)
+	}
+	return c.Timeline(ctx, id, true, print)
 }
 
 func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
@@ -278,13 +293,24 @@ func cmdHealth(ctx context.Context, c *client.Client) error {
 	return nil
 }
 
-func cmdMetrics(ctx context.Context, c *client.Client) error {
+func cmdMetrics(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	prom := fs.Bool("prom", false, "print the Prometheus text exposition instead of JSON")
+	fs.Parse(args)
+	if *prom {
+		b, err := c.MetricsProm(ctx)
+		if err != nil {
+			return err
+		}
+		stdout.Write(b)
+		return nil
+	}
 	m, err := c.Metrics(ctx)
 	if err != nil {
 		return err
 	}
 	b, _ := json.MarshalIndent(m, "", "  ")
-	fmt.Println(string(b))
+	fmt.Fprintln(stdout, string(b))
 	return nil
 }
 

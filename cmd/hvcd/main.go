@@ -9,11 +9,11 @@
 //	POST   /v1/jobs               submit a job (dedup via cache key)
 //	GET    /v1/jobs               list jobs
 //	GET    /v1/jobs/{id}          status + report
-//	GET    /v1/jobs/{id}/timeline streamed NDJSON interval time-series
+//	GET    /v1/jobs/{id}/timeline streamed interval time-series (NDJSON or SSE)
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/orgs               organization + workload catalog
 //	GET    /v1/experiments        experiment registry
-//	GET    /healthz, /metrics     liveness and counters
+//	GET    /healthz, /metrics     liveness; counters as JSON or Prometheus text
 //
 // SIGTERM/SIGINT drains gracefully: submissions are refused, running
 // simulations quiesce at a chunk boundary, running sweeps checkpoint
@@ -31,7 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,14 +54,16 @@ func main() {
 	backoff := flag.Duration("retry-backoff", 0, "base pause between retry attempts (default 100ms)")
 	spool := flag.String("spool", "", "sweep checkpoint spool directory (default: per-process temp dir)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
-	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	quiet := flag.Bool("quiet", false, "log warnings and errors only")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	version := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.HandleFlag(version, "hvcd")
 
-	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
-	if *quiet {
-		logf = nil
+	logger, err := newLogger(*logFormat, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcd:", err)
+		os.Exit(2)
 	}
 	srv, err := service.New(service.Config{
 		Workers:      *workers,
@@ -73,7 +75,7 @@ func main() {
 		Retries:      *retries,
 		RetryBackoff: *backoff,
 		SpoolDir:     *spool,
-		Logf:         logf,
+		Logger:       logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hvcd:", err)
@@ -88,14 +90,14 @@ func main() {
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	log.Printf("hvcd %s listening on %s", buildinfo.Version(), *addr)
+	logger.Info("hvcd listening", "version", buildinfo.Version(), "addr", *addr)
 
 	select {
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "hvcd:", err)
 		os.Exit(1)
 	case sig := <-sigs:
-		log.Printf("hvcd: %v — draining (max %v)", sig, *drainTimeout)
+		logger.Info("hvcd draining on signal", "signal", sig.String(), "max_wait", drainTimeout.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -108,5 +110,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hvcd:", drainErr)
 		os.Exit(1)
 	}
-	log.Printf("hvcd: drained cleanly")
+	logger.Info("hvcd drained cleanly")
+}
+
+// newLogger builds the daemon's structured logger on stderr. Every job
+// lifecycle transition logs at info with its lineage ID, spec key and
+// stage latencies; per-request logs are at debug. -quiet raises the
+// level to warn, keeping the daemon silent in normal operation.
+func newLogger(format string, quiet bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if quiet {
+		level = slog.LevelWarn
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }

@@ -15,6 +15,9 @@ type cacheEntry struct {
 	reportJSON []byte
 	tables     []string
 	intervals  []stats.Interval
+	// lineage is the lineage ID of the job that produced the result, so
+	// cache-served jobs can report their provenance chain.
+	lineage string
 }
 
 // resultCache is a bounded LRU keyed by the canonical job hash. It is

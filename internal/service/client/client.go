@@ -256,3 +256,84 @@ func (c *Client) Metrics(ctx context.Context) (service.MetricsSnapshot, error) {
 	err := json.Unmarshal(raw, &out)
 	return out, err
 }
+
+// MetricsProm fetches /metrics in Prometheus text exposition format.
+func (c *Client) MetricsProm(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// TimelineSSE streams the job's timeline as Server-Sent Events, invoking
+// fn for each interval. lastEventID >= 0 resumes the stream after that
+// interval index (the SSE id of the last frame already seen); pass -1 to
+// stream from the beginning. The server's terminal "done" event ends the
+// stream without an error.
+func (c *Client) TimelineSSE(ctx context.Context, id string, lastEventID int, follow bool, fn func(stats.Interval) error) error {
+	url := c.base + "/v1/jobs/" + id + "/timeline"
+	if !follow {
+		url += "?follow=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastEventID))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+
+	// Minimal SSE parser: accumulate field lines until a blank line ends
+	// the event, then dispatch. Only the fields the server emits (event,
+	// id, data) are interpreted; unknown fields are ignored per the spec.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data string
+	dispatch := func() error {
+		defer func() { event, data = "", "" }()
+		if data == "" || event == "done" {
+			return nil
+		}
+		var iv stats.Interval
+		if err := json.Unmarshal([]byte(data), &iv); err != nil {
+			return fmt.Errorf("timeline sse: bad data frame: %w", err)
+		}
+		return fn(iv)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return dispatch() // stream may end without a trailing blank line
+}

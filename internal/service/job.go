@@ -32,6 +32,12 @@ type Job struct {
 	ID  string
 	Key string
 
+	// Lineage is the lineage ID of the submission that created this job
+	// (immutable). Coalesced submissions keep their own lineage IDs in
+	// the response/logs but share this job; a cache-served job's chain
+	// back to the producing run is in parentLineage.
+	Lineage string
+
 	// Spec is the normalized spec (immutable after creation).
 	Spec JobSpec
 
@@ -41,26 +47,27 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu         sync.Mutex
-	state      string
-	errMsg     string
-	reportJSON []byte
-	tables     []string
-	cached     bool
-	checkpoint string
-	created    time.Time
-	started    time.Time
-	finished   time.Time
-	tl         *stats.Timeline
+	mu            sync.Mutex
+	state         string
+	errMsg        string
+	reportJSON    []byte
+	tables        []string
+	cached        bool
+	checkpoint    string
+	parentLineage string
+	created       time.Time
+	started       time.Time
+	finished      time.Time
+	tl            *stats.Timeline
 }
 
 // newJob creates a queued job with its own cancellation context,
 // parented on the server lifetime rather than any HTTP request: the
 // submitting connection may vanish while the job runs.
-func newJob(id, key string, spec JobSpec, parent context.Context) *Job {
+func newJob(id, key, lineage string, spec JobSpec, parent context.Context) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	return &Job{
-		ID: id, Key: key, Spec: spec,
+		ID: id, Key: key, Lineage: lineage, Spec: spec,
 		ctx: ctx, cancel: cancel,
 		done:    make(chan struct{}),
 		state:   StateQueued,
@@ -133,8 +140,10 @@ func (j *Job) finish(state string, report []byte, tables []string, errMsg string
 }
 
 // finishCached marks a freshly created job done with a cache-served
-// result (it was never queued).
-func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval) {
+// result (it was never queued). parentLineage is the lineage ID of the
+// job that originally produced the cached result, so the lineage chain
+// request → cached result → producing run stays traceable.
+func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval, parentLineage string) {
 	tl := &stats.Timeline{}
 	for _, iv := range intervals {
 		tl.Append(iv)
@@ -142,9 +151,24 @@ func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Int
 	j.mu.Lock()
 	j.cached = true
 	j.tl = tl
+	j.parentLineage = parentLineage
 	j.created = time.Now()
 	j.mu.Unlock()
 	j.finish(StateDone, report, tables, "")
+}
+
+// latencies reports the job's lifecycle-stage durations as of now:
+// queue wait (created→started), execution (started→now) and end-to-end
+// (created→now). Unstarted jobs report zero wait and execution.
+func (j *Job) latencies(now time.Time) (queueWait, execute, endToEnd time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.started.IsZero() {
+		queueWait = j.started.Sub(j.created)
+		execute = now.Sub(j.started)
+	}
+	endToEnd = now.Sub(j.created)
+	return
 }
 
 // setCheckpoint records the sweep checkpoint journal path so a drain
@@ -162,6 +186,12 @@ type JobStatus struct {
 	State  string `json:"state"`
 	Cached bool   `json:"cached"`
 	Error  string `json:"error,omitempty"`
+
+	// Lineage is the lineage ID of the submission that created the job;
+	// ParentLineage (cache-served jobs only) is the lineage of the run
+	// that originally produced the result.
+	Lineage       string `json:"lineage"`
+	ParentLineage string `json:"parent_lineage,omitempty"`
 
 	Spec JobSpec `json:"spec"`
 
@@ -190,6 +220,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID: j.ID, Key: j.Key, State: j.state, Cached: j.cached,
 		Error: j.errMsg, Spec: j.Spec, Checkpoint: j.checkpoint,
+		Lineage: j.Lineage, ParentLineage: j.parentLineage,
 		Created: j.created,
 	}
 	if len(j.reportJSON) > 0 {

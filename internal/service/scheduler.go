@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,6 +18,7 @@ import (
 	"hybridvc"
 	"hybridvc/experiments"
 	"hybridvc/internal/sim"
+	"hybridvc/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -47,8 +50,10 @@ type Config struct {
 	// (default: a per-process temp dir).
 	SpoolDir string
 
-	// Logf receives one line per lifecycle event (nil = silent).
-	Logf func(format string, args ...any)
+	// Logger receives structured request and job-lifecycle logs: one
+	// record per lifecycle transition carrying the lineage ID, spec key,
+	// org/experiment and stage latencies (nil = silent).
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -64,8 +69,8 @@ func (c *Config) fillDefaults() {
 	if c.RateBurst <= 0 {
 		c.RateBurst = 10
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 }
 
@@ -77,11 +82,15 @@ type metrics struct {
 	deduped     atomic.Uint64 // submissions coalesced onto a live job
 	simulated   atomic.Uint64 // simulations actually executed
 	sweeps      atomic.Uint64 // experiment sweeps actually executed
-	completed   atomic.Uint64 // jobs finished in StateDone
 	failed      atomic.Uint64
 	canceled    atomic.Uint64
 	rateLimited atomic.Uint64 // submissions rejected 429 by the limiter
 	queueFull   atomic.Uint64 // submissions rejected 429 by backpressure
+	busy        atomic.Int64  // workers currently executing a job (gauge)
+
+	// The "completed" counter lives in the telemetry collector: it IS the
+	// end-to-end latency histogram's sample count, so the counter and the
+	// stage-histogram +Inf buckets reconcile exactly on every scrape.
 }
 
 // MetricsSnapshot is the exported counter set (see Server.MetricsSnapshot).
@@ -101,6 +110,7 @@ type MetricsSnapshot struct {
 	QueueDepth  int    `json:"queue_depth"`
 	Jobs        int    `json:"jobs"`
 	Workers     int    `json:"workers"`
+	WorkersBusy int    `json:"workers_busy"`
 	Draining    bool   `json:"draining"`
 	UptimeSec   int64  `json:"uptime_sec"`
 }
@@ -113,6 +123,8 @@ type Server struct {
 	cache   *resultCache
 	limiter *rateLimiter
 	met     metrics
+	tel     *telemetry.Collector
+	logger  *slog.Logger
 
 	// lifetime is the parent context of every job; drain cancels it
 	// after the grace period.
@@ -154,6 +166,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheEntries),
 		limiter:  newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		tel:      telemetry.NewCollector(),
+		logger:   cfg.Logger,
 		lifetime: ctx,
 		endLife:  cancel,
 		jobs:     make(map[string]*Job),
@@ -162,6 +176,10 @@ func New(cfg Config) (*Server, error) {
 		started:  time.Now(),
 	}, nil
 }
+
+// Telemetry returns the daemon's stage-latency collector (the /metrics
+// Prometheus exposition renders it).
+func (s *Server) Telemetry() *telemetry.Collector { return s.tel }
 
 // Start launches the worker pool. It must be called exactly once.
 func (s *Server) Start() {
@@ -174,8 +192,9 @@ func (s *Server) Start() {
 			}
 		}()
 	}
-	s.cfg.Logf("hvcd: %d workers, queue depth %d, cache %d entries, spool %s",
-		s.cfg.Workers, s.cfg.QueueDepth, s.cfg.CacheEntries, s.cfg.SpoolDir)
+	s.logger.Info("hvcd started",
+		"workers", s.cfg.Workers, "queue_depth", s.cfg.QueueDepth,
+		"cache_entries", s.cfg.CacheEntries, "spool", s.cfg.SpoolDir)
 }
 
 // Submission outcomes beyond plain errors.
@@ -193,14 +212,33 @@ type SubmitResult struct {
 	// Fresh means a new job was queued; false means the submission was
 	// coalesced onto an existing job or served from the result cache.
 	Fresh bool
+	// Lineage is this submission's lineage ID (distinct per request even
+	// when the job is shared); Origin is the lineage of the run that
+	// produced — or will produce — the result: the request's own lineage
+	// for fresh jobs, the live job's for coalesced submissions, and the
+	// producing run's for cache hits.
+	Lineage string
+	Origin  string
 }
 
-// Submit validates, normalizes and schedules a job spec. Identical specs
-// deduplicate through the content-addressed key: a key with a live
-// (queued/running/done) job coalesces onto it, a key with a cached
-// result gets a job born done, and only genuinely new work is enqueued.
-// A full queue returns ErrQueueFull; a draining server ErrDraining.
+// Submit schedules a job spec under a freshly minted lineage ID. See
+// SubmitWithLineage.
 func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
+	return s.SubmitWithLineage(spec, telemetry.NewLineageID())
+}
+
+// SubmitWithLineage validates, normalizes and schedules a job spec.
+// Identical specs deduplicate through the content-addressed key: a key
+// with a live (queued/running/done) job coalesces onto it, a key with a
+// cached result gets a job born done, and only genuinely new work is
+// enqueued. A full queue returns ErrQueueFull; a draining server
+// ErrDraining. lineage identifies this submission in logs and traces
+// (empty mints one).
+func (s *Server) SubmitWithLineage(spec JobSpec, lineage string) (SubmitResult, error) {
+	if lineage == "" {
+		lineage = telemetry.NewLineageID()
+	}
+	arrived := time.Now()
 	if err := spec.Normalize(); err != nil {
 		return SubmitResult{}, err
 	}
@@ -221,24 +259,31 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 		switch prev.State() {
 		case StateQueued, StateRunning:
 			s.met.deduped.Add(1)
-			return SubmitResult{Job: prev}, nil
+			s.logJob(prev, lineage, "submitted",
+				"coalesced", true, "origin", prev.Lineage)
+			return SubmitResult{Job: prev, Lineage: lineage, Origin: prev.Lineage}, nil
 		case StateDone:
 			s.met.deduped.Add(1)
 			s.cache.hits.Add(1)
-			return SubmitResult{Job: prev}, nil
+			s.tel.ObserveCacheServe(time.Since(arrived))
+			s.logJob(prev, lineage, "submitted",
+				"cache_hit", true, "origin", prev.Lineage)
+			return SubmitResult{Job: prev, Lineage: lineage, Origin: prev.Lineage}, nil
 		}
 	}
 
 	// A cold key may still hit the result cache (the original job aged
 	// out of the registry, or the key was evicted from byKey on retry).
 	if e, ok := s.cache.get(key); ok {
-		job := newJob(s.newID(), key, spec, s.lifetime)
-		job.finishCached(e.reportJSON, e.tables, e.intervals)
+		job := newJob(s.newID(), key, lineage, spec, s.lifetime)
+		job.finishCached(e.reportJSON, e.tables, e.intervals, e.lineage)
 		s.register(job)
-		return SubmitResult{Job: job}, nil
+		s.tel.ObserveCacheServe(time.Since(arrived))
+		s.logJob(job, "", "submitted", "cache_hit", true, "origin", e.lineage)
+		return SubmitResult{Job: job, Lineage: lineage, Origin: e.lineage}, nil
 	}
 
-	job := newJob(s.newID(), key, spec, s.lifetime)
+	job := newJob(s.newID(), key, lineage, spec, s.lifetime)
 	select {
 	case s.queue <- job:
 	default:
@@ -247,7 +292,29 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 		return SubmitResult{}, ErrQueueFull
 	}
 	s.register(job)
-	return SubmitResult{Job: job, Fresh: true}, nil
+	s.logJob(job, "", "submitted")
+	return SubmitResult{Job: job, Fresh: true, Lineage: lineage, Origin: lineage}, nil
+}
+
+// logJob emits one structured lifecycle record: every line carries the
+// lineage ID, job ID, spec key and what the job is (org or experiment),
+// so a single lineage grep reconstructs a request's whole life. A
+// non-empty lineage overrides the job's own (a coalesced submission logs
+// under its own lineage ID, with the job's as "origin" in extra).
+func (s *Server) logJob(job *Job, lineage, event string, extra ...any) {
+	if lineage == "" {
+		lineage = job.Lineage
+	}
+	attrs := make([]any, 0, 10+len(extra))
+	attrs = append(attrs, "event", event, "job", job.ID,
+		"lineage", lineage, "key", job.Key, "kind", job.Spec.Kind)
+	if job.Spec.Kind == KindSweep {
+		attrs = append(attrs, "experiment", job.Spec.Experiment)
+	} else {
+		attrs = append(attrs, "org", job.Spec.Org)
+	}
+	attrs = append(attrs, extra...)
+	s.logger.Info("job "+event, attrs...)
 }
 
 // register indexes a job; the caller holds s.mu.
@@ -315,7 +382,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		CacheLen:    s.cache.len(),
 		Simulated:   s.met.simulated.Load(),
 		Sweeps:      s.met.sweeps.Load(),
-		Completed:   s.met.completed.Load(),
+		Completed:   s.tel.Completed(),
 		Failed:      s.met.failed.Load(),
 		Canceled:    s.met.canceled.Load(),
 		RateLimited: s.met.rateLimited.Load(),
@@ -323,6 +390,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		QueueDepth:  len(s.queue),
 		Jobs:        jobs,
 		Workers:     s.cfg.Workers,
+		WorkersBusy: int(s.met.busy.Load()),
 		Draining:    draining,
 		UptimeSec:   int64(time.Since(s.started).Seconds()),
 	}
@@ -351,7 +419,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
-	s.cfg.Logf("hvcd: draining — cancelling %d live job(s)", len(live))
+	s.logger.Info("hvcd draining", "live_jobs", len(live))
 	for _, j := range live {
 		j.Cancel()
 	}
@@ -374,6 +442,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		if !terminal(j.State()) {
 			j.finish(StateCanceled, nil, nil, "server drained")
 			s.met.canceled.Add(1)
+			s.logJob(j, "", "canceled", "error", "server drained")
 		}
 	}
 	return err
@@ -381,13 +450,17 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // runJob executes one job on a worker.
 func (s *Server) runJob(job *Job) {
+	s.met.busy.Add(1)
+	defer s.met.busy.Add(-1)
 	if !job.start() {
 		// Cancelled while queued.
 		job.finish(StateCanceled, nil, nil, "canceled before start")
 		s.met.canceled.Add(1)
+		s.logJob(job, "", "canceled", "error", "canceled before start")
 		return
 	}
-	s.cfg.Logf("hvcd: job %s running (%s, key %.12s…)", job.ID, job.Spec.Kind, job.Key)
+	queueWait, _, _ := job.latencies(time.Now())
+	s.logJob(job, "", "running", "queue_wait_s", queueWait.Seconds())
 
 	var (
 		report []byte
@@ -403,24 +476,32 @@ func (s *Server) runJob(job *Job) {
 
 	switch {
 	case err == nil:
-		entry := &cacheEntry{reportJSON: report, tables: tables}
+		entry := &cacheEntry{reportJSON: report, tables: tables, lineage: job.Lineage}
 		if tl := job.timeline(); tl != nil {
 			entry.intervals = tl.Intervals()
 		}
 		s.cache.put(job.Key, entry)
+		// Observe stage latencies BEFORE finish wakes watchers: a client
+		// that sees "done" must also see the counters agreeing.
+		wait, exec, e2e := job.latencies(time.Now())
+		s.tel.ObserveCompleted(job.Spec.Org, wait, exec, e2e)
 		job.finish(StateDone, report, tables, "")
-		s.met.completed.Add(1)
-		s.cfg.Logf("hvcd: job %s done", job.ID)
+		s.logJob(job, "", "done", "queue_wait_s", wait.Seconds(),
+			"exec_s", exec.Seconds(), "e2e_s", e2e.Seconds())
 	case job.ctx.Err() != nil:
 		job.finish(StateCanceled, nil, nil, err.Error())
 		s.met.canceled.Add(1)
 		s.unbindKey(job)
-		s.cfg.Logf("hvcd: job %s canceled", job.ID)
+		_, exec, e2e := job.latencies(time.Now())
+		s.logJob(job, "", "canceled", "error", err.Error(),
+			"exec_s", exec.Seconds(), "e2e_s", e2e.Seconds())
 	default:
 		job.finish(StateFailed, nil, nil, err.Error())
 		s.met.failed.Add(1)
 		s.unbindKey(job)
-		s.cfg.Logf("hvcd: job %s failed: %v", job.ID, err)
+		_, exec, e2e := job.latencies(time.Now())
+		s.logJob(job, "", "failed", "error", err.Error(),
+			"exec_s", exec.Seconds(), "e2e_s", e2e.Seconds())
 	}
 }
 

@@ -7,11 +7,14 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"hybridvc"
 	"hybridvc/experiments"
 	"hybridvc/internal/buildinfo"
+	"hybridvc/internal/stats"
+	"hybridvc/internal/telemetry"
 	"hybridvc/internal/workload"
 )
 
@@ -29,6 +32,12 @@ type SubmitResponse struct {
 	// Deduped means the submission coalesced onto a live job with the
 	// same key (queued or running) instead of enqueueing a duplicate.
 	Deduped bool `json:"deduped"`
+	// Lineage is this submission's lineage ID (also in the X-Lineage-Id
+	// response header); OriginLineage is the lineage of the request that
+	// produced — or is producing — the result this submission will see.
+	// They differ exactly when the submission was deduplicated.
+	Lineage       string `json:"lineage"`
+	OriginLineage string `json:"origin_lineage,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -72,7 +81,9 @@ type HealthResponse struct {
 	Draining bool   `json:"draining"`
 }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API, wrapped in structured request
+// logging (one debug-level record per request with method, path, status,
+// duration and the response's lineage ID when one was attached).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -84,7 +95,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.logRequests(mux)
+}
+
+// statusWriter records the response code for request logging while
+// passing Flush through to the streaming endpoints.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		s.logger.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.code,
+			"dur_s", time.Since(start).Seconds(),
+			"lineage", sw.Header().Get(lineageHeader),
+			"remote", r.RemoteAddr)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -109,7 +151,17 @@ func clientKey(r *http.Request) string {
 	return host
 }
 
+// lineageHeader carries the submission's lineage ID on every job-scoped
+// response; X-Request-Id is the inbound header a client may use to
+// supply its own.
+const (
+	lineageHeader   = "X-Lineage-Id"
+	requestIDHeader = "X-Request-Id"
+)
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	lineage := telemetry.LineageFrom(r.Header.Get(requestIDHeader))
+	w.Header().Set(lineageHeader, lineage)
 	if !s.limiter.allow(clientKey(r)) {
 		s.met.rateLimited.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfter()))
@@ -123,7 +175,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	res, err := s.Submit(spec)
+	res, err := s.SubmitWithLineage(spec, lineage)
 	switch {
 	case err == nil:
 	case err == ErrDraining:
@@ -141,8 +193,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	state := job.State()
 	resp := SubmitResponse{
 		ID: job.ID, Key: job.Key, State: state,
-		Cached:  !res.Fresh && state == StateDone,
-		Deduped: !res.Fresh && state != StateDone,
+		Cached:        !res.Fresh && state == StateDone,
+		Deduped:       !res.Fresh && state != StateDone,
+		Lineage:       res.Lineage,
+		OriginLineage: res.Origin,
 	}
 	code := http.StatusAccepted
 	if !res.Fresh {
@@ -169,6 +223,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
+	w.Header().Set(lineageHeader, job.Lineage)
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
@@ -197,9 +252,14 @@ func mustState(s *Server, id string) string {
 // timeline for new intervals between job-completion wakeups.
 const timelinePoll = 25 * time.Millisecond
 
-// handleTimeline streams the job's interval time-series as NDJSON: every
-// recorded interval immediately, then (unless ?follow=0) new intervals
-// as the simulation appends them, terminating when the job finishes.
+// handleTimeline streams the job's interval time-series: every recorded
+// interval immediately, then (unless ?follow=0) new intervals as the
+// simulation appends them, terminating when the job finishes. The frame
+// format is content-negotiated: NDJSON by default, Server-Sent Events
+// when the client accepts text/event-stream — SSE frames carry the
+// interval index as the `id:` cursor, and a reconnecting client's
+// Last-Event-ID header resumes the stream right after the last interval
+// it saw. Both formats share one cursor loop.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -211,18 +271,42 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	follow := r.URL.Query().Get("follow") != "0"
+	sse := acceptsEventStream(r.Header.Get("Accept"))
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	cursor := 0
+	w.Header().Set(lineageHeader, job.Lineage)
+	if sse {
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			if n, err := strconv.Atoi(lei); err == nil && n >= 0 {
+				cursor = n + 1
+			}
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
-	cursor := 0
+	write := func(iv *stats.Interval) error {
+		if !sse {
+			return enc.Encode(iv)
+		}
+		b, err := json.Marshal(iv)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", iv.Index, b)
+		return err
+	}
+
 	for {
 		if tl := job.timeline(); tl != nil {
 			batch := tl.Since(cursor)
 			for i := range batch {
-				if err := enc.Encode(&batch[i]); err != nil {
+				if err := write(&batch[i]); err != nil {
 					return // client went away
 				}
 			}
@@ -234,6 +318,14 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		if terminal(job.State()) {
 			// Final drain already happened above on this iteration.
 			if tl := job.timeline(); tl == nil || tl.Len() <= cursor {
+				if sse {
+					// Tell browser EventSource clients the stream is
+					// complete so they stop auto-reconnecting.
+					fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", job.State())
+					if flusher != nil {
+						flusher.Flush()
+					}
+				}
 				return
 			}
 			continue
@@ -249,6 +341,17 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(timelinePoll):
 		}
 	}
+}
+
+// acceptsEventStream reports whether an Accept header asks for SSE.
+func acceptsEventStream(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mt == "text/event-stream" {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleOrgs(w http.ResponseWriter, r *http.Request) {
@@ -292,19 +395,82 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves the daemon counters in expvar style: one JSON
-// object whose keys are the process-wide expvar variables (memstats,
-// cmdline, plus anything the binary published — hvcsim's -metrics-addr
-// vars use the same mechanism) extended with an "hvcd" key holding the
-// scheduler/cache counters.
+// handleMetrics serves the daemon counters, content-negotiated on the
+// Accept header. A client accepting text/plain (Prometheus scrapers) gets
+// the exposition-format rendering of the counters, gauges and stage
+// latency histograms; everyone else gets the original expvar-style JSON
+// object — the process-wide expvar variables extended with an "hvcd" key
+// holding the scheduler/cache counters — so existing JSON consumers are
+// untouched.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		s.writePromMetrics(w)
+		return
+	}
 	vars := map[string]json.RawMessage{}
 	expvar.Do(func(kv expvar.KeyValue) {
 		vars[kv.Key] = json.RawMessage(kv.Value.String())
 	})
 	own, err := json.Marshal(s.MetricsSnapshot())
-	if err == nil {
-		vars["hvcd"] = own
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "marshal metrics: %v", err)
+		return
 	}
+	vars["hvcd"] = own
 	writeJSON(w, http.StatusOK, vars)
+}
+
+// writePromMetrics renders the Prometheus text exposition. All stage
+// histograms and the completed counter come from ONE collector snapshot:
+// hvcd_completed_total is the end-to-end histogram's sample count, so on
+// every scrape — including mid-run — the histograms' +Inf buckets and
+// the counter reconcile exactly.
+func (s *Server) writePromMetrics(w http.ResponseWriter) {
+	m := s.MetricsSnapshot()
+	st := s.tel.Snapshot()
+
+	enc := telemetry.NewEncoder()
+	enc.Counter("hvcd_submitted_total", "Accepted submissions, including deduplicated and cache-served ones.", m.Submitted)
+	enc.Counter("hvcd_deduped_total", "Submissions coalesced onto a live or finished job with the same key.", m.Deduped)
+	enc.Counter("hvcd_cache_hits_total", "Result-cache hits.", m.CacheHits)
+	enc.Counter("hvcd_cache_misses_total", "Result-cache misses.", m.CacheMisses)
+	enc.Counter("hvcd_simulated_total", "Simulations actually executed.", m.Simulated)
+	enc.Counter("hvcd_sweeps_total", "Experiment sweeps actually executed.", m.Sweeps)
+	enc.Counter("hvcd_completed_total", "Jobs completed successfully (equals the hvcd_e2e_seconds sample count).", st.EndToEnd.Total)
+	enc.Counter("hvcd_failed_total", "Jobs that finished in the failed state.", m.Failed)
+	enc.Counter("hvcd_canceled_total", "Jobs that finished in the canceled state.", m.Canceled)
+	enc.Counter("hvcd_rate_limited_total", "Submissions rejected by the per-client rate limiter.", m.RateLimited)
+	enc.Counter("hvcd_queue_full_total", "Submissions rejected by queue backpressure.", m.QueueFull)
+
+	enc.Gauge("hvcd_queue_depth", "Jobs waiting in the submission queue.", float64(m.QueueDepth))
+	enc.Gauge("hvcd_jobs", "Jobs resident in the registry, any state.", float64(m.Jobs))
+	enc.Gauge("hvcd_workers", "Size of the worker pool.", float64(m.Workers))
+	enc.Gauge("hvcd_workers_busy", "Workers currently executing a job.", float64(m.WorkersBusy))
+	enc.Gauge("hvcd_cache_entries", "Entries resident in the result cache.", float64(m.CacheLen))
+	draining := 0.0
+	if m.Draining {
+		draining = 1
+	}
+	enc.Gauge("hvcd_draining", "1 while the server is draining, 0 otherwise.", draining)
+	enc.Gauge("hvcd_uptime_seconds", "Seconds since the server started.", float64(m.UptimeSec))
+	enc.Gauge("hvcd_build_info", "Build metadata; the value is always 1.", 1,
+		telemetry.Label{Name: "version", Value: buildinfo.Version()})
+
+	enc.Histogram("hvcd_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.",
+		st.QueueWait, telemetry.LatencyScale)
+	enc.Histogram("hvcd_execute_seconds", "Time jobs spent executing on a worker.",
+		st.Execute, telemetry.LatencyScale)
+	enc.Histogram("hvcd_e2e_seconds", "End-to-end job latency, submission to completion.",
+		st.EndToEnd, telemetry.LatencyScale)
+	enc.Histogram("hvcd_cache_serve_seconds", "Latency of submissions served from the result cache or a finished job.",
+		st.CacheServe, telemetry.LatencyScale)
+	for _, org := range st.Orgs() {
+		enc.Histogram("hvcd_simulate_seconds", "Execution latency of simulation jobs by cache organization.",
+			st.Simulate[org], telemetry.LatencyScale,
+			telemetry.Label{Name: "org", Value: org})
+	}
+
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(enc.Bytes())
 }

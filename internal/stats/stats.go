@@ -144,6 +144,10 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observed sample, or 0 if empty.
 func (h *Histogram) Max() uint64 { return h.max }
 
+// Sum returns the sum of all observed samples (Prometheus histogram
+// exposition needs the raw sum alongside the bucket counts).
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // Bucket returns the count of bucket i (the final bucket is overflow).
 func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
 
@@ -178,6 +182,7 @@ type HistogramSnapshot struct {
 	Bounds []uint64 `json:"bounds"`
 	Counts []uint64 `json:"counts"`
 	Total  uint64   `json:"total"`
+	Sum    uint64   `json:"sum"`
 	Mean   float64  `json:"mean"`
 	Max    uint64   `json:"max"`
 	P50    uint64   `json:"p50"`
@@ -192,6 +197,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Bounds: append([]uint64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
 		Total:  h.total,
+		Sum:    h.sum,
 		Mean:   h.Mean(),
 		Max:    h.max,
 		P50:    h.Quantile(0.50),

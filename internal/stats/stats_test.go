@@ -206,3 +206,61 @@ func TestAddRowRejectsOverflow(t *testing.T) {
 	}()
 	tb.AddRow("1", "2", "3") // one cell too many — must panic, not truncate
 }
+
+// TestHistogramCumulativeRendering is the property a Prometheus-style
+// cumulative rendering of Snapshot depends on: partial sums over the
+// per-bucket counts are monotone non-decreasing, and the final
+// cumulative value (the +Inf bucket) equals Count().
+func TestHistogramCumulativeRendering(t *testing.T) {
+	f := func(samples []uint16) bool {
+		h := NewHistogram(10, 100, 1_000, 10_000)
+		var sum uint64
+		for _, s := range samples {
+			h.Observe(uint64(s))
+			sum += uint64(s)
+		}
+		snap := h.Snapshot()
+		if len(snap.Counts) != len(snap.Bounds)+1 {
+			return false
+		}
+		var cum, prev uint64
+		for _, c := range snap.Counts {
+			cum += c
+			if cum < prev {
+				return false
+			}
+			prev = cum
+		}
+		return cum == h.Count() &&
+			snap.Total == h.Count() &&
+			snap.Sum == sum && h.Sum() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramSnapshotQuantileAgreement: the snapshot's precomputed
+// percentiles must match Quantile at snapshot time, and every quantile
+// is an upper bound that some bucket's cumulative count justifies.
+func TestHistogramSnapshotQuantileAgreement(t *testing.T) {
+	h := NewHistogram(10, 100, 1_000)
+	for v := uint64(1); v <= 2_000; v += 7 {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	for _, c := range []struct {
+		q    float64
+		want uint64
+	}{{0.50, snap.P50}, {0.90, snap.P90}, {0.99, snap.P99}} {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, snapshot says %d", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(1.0) != h.Max() {
+		t.Errorf("Quantile(1.0) = %d, want max %d", h.Quantile(1.0), h.Max())
+	}
+	if snap.Max != h.Max() {
+		t.Errorf("snapshot max = %d, want %d", snap.Max, h.Max())
+	}
+}

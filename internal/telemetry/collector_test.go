@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorLockstep(t *testing.T) {
+	c := NewCollector()
+	c.ObserveCompleted("hybrid", 2*time.Millisecond, 30*time.Millisecond, 32*time.Millisecond)
+	c.ObserveCompleted("", 0, 5*time.Second, 5*time.Second) // sweep: no org family
+	c.ObserveCompleted("hybrid", time.Millisecond, time.Second, time.Second+time.Millisecond)
+
+	st := c.Snapshot()
+	if st.QueueWait.Total != 3 || st.Execute.Total != 3 || st.EndToEnd.Total != 3 {
+		t.Fatalf("stage families out of lockstep: wait=%d exec=%d e2e=%d",
+			st.QueueWait.Total, st.Execute.Total, st.EndToEnd.Total)
+	}
+	if got := c.Completed(); got != 3 {
+		t.Fatalf("Completed = %d, want 3", got)
+	}
+	if len(st.Simulate) != 1 || st.Simulate["hybrid"].Total != 2 {
+		t.Fatalf("per-org simulate family wrong: %+v", st.Simulate)
+	}
+	if orgs := st.Orgs(); len(orgs) != 1 || orgs[0] != "hybrid" {
+		t.Fatalf("Orgs() = %v", orgs)
+	}
+}
+
+func TestCollectorCacheServe(t *testing.T) {
+	c := NewCollector()
+	c.ObserveCacheServe(300 * time.Microsecond)
+	c.ObserveCacheServe(-time.Second) // clock skew clamps to zero, never panics
+	st := c.Snapshot()
+	if st.CacheServe.Total != 2 {
+		t.Fatalf("cache-serve total = %d, want 2", st.CacheServe.Total)
+	}
+	if c.Completed() != 0 {
+		t.Fatal("cache serves must not count as completions")
+	}
+}
+
+// TestCollectorSnapshotConsistency hammers ObserveCompleted from many
+// goroutines while snapshotting: every snapshot must see the three base
+// families agreeing on the number of completions, and the rendered
+// exposition must lint clean with +Inf == completed.
+func TestCollectorSnapshotConsistency(t *testing.T) {
+	c := NewCollector()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.ObserveCompleted("vc", time.Millisecond, 2*time.Millisecond, 3*time.Millisecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		st := c.Snapshot()
+		if st.QueueWait.Total != st.Execute.Total || st.Execute.Total != st.EndToEnd.Total {
+			t.Errorf("snapshot %d: families disagree: wait=%d exec=%d e2e=%d",
+				i, st.QueueWait.Total, st.Execute.Total, st.EndToEnd.Total)
+			break
+		}
+		enc := NewEncoder()
+		enc.Histogram("e2e_seconds", "E.", st.EndToEnd, LatencyScale)
+		if err := Lint(enc.Bytes()); err != nil {
+			t.Errorf("snapshot %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

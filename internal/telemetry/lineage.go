@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"sync/atomic"
+)
+
+// A lineage ID identifies one submission end to end: minted when the
+// request arrives (or adopted from the client's X-Request-Id), carried
+// on the Job, returned in every response and response header, stamped on
+// every structured log line, and chained through dedup/coalesce and
+// cache-hit paths so a served result can always be traced back to the
+// request that originally produced it.
+
+var lineageSeq atomic.Uint64
+
+// NewLineageID mints a fresh lineage ID: "lin-" + 16 hex chars of
+// crypto randomness (falling back to a process-local sequence if the
+// entropy source fails — tracing must never block a submission).
+func NewLineageID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("lin-%016x", lineageSeq.Add(1))
+	}
+	return "lin-" + hex.EncodeToString(b[:])
+}
+
+// requestIDRe bounds what we adopt from a client-supplied X-Request-Id:
+// log- and header-safe characters, at most 64 of them. Anything else is
+// replaced by a minted ID rather than rejected — tracing is best-effort.
+var requestIDRe = regexp.MustCompile(`^[A-Za-z0-9._:/-]{1,64}$`)
+
+// LineageFrom adopts an acceptable client-supplied request ID as the
+// lineage ID, or mints a fresh one.
+func LineageFrom(requestID string) string {
+	if requestIDRe.MatchString(requestID) {
+		return requestID
+	}
+	return NewLineageID()
+}

@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition (format v0.0.4) without
+// any external dependency. It enforces the well-formedness properties
+// the daemon's /metrics contract promises:
+//
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line with a known type;
+//   - metric and label names match the Prometheus grammar and sample
+//     values parse as floats (including +Inf/-Inf/NaN);
+//   - no series (name + full label set) appears twice;
+//   - histogram families expose _bucket/_sum/_count only, each bucket
+//     series has strictly increasing `le` bounds with monotone
+//     non-decreasing cumulative counts, ends in a `+Inf` bucket, and
+//     that +Inf count equals the series' _count sample.
+//
+// A nil return means the exposition is scrape-ready.
+func Lint(data []byte) error {
+	l := &linter{
+		types:   map[string]string{},
+		sampled: map[string]bool{},
+		series:  map[string]int{},
+		buckets: map[string]*bucketState{},
+		counts:  map[string]float64{},
+		sums:    map[string]bool{},
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := l.line(strings.TrimRight(line, "\r"), i+1); err != nil {
+			return err
+		}
+	}
+	return l.finish()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var knownTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// bucketState tracks one histogram bucket series (family + labels
+// without le) while its _bucket samples stream past.
+type bucketState struct {
+	family   string
+	lastLE   float64
+	lastCum  float64
+	seenAny  bool
+	seenInf  bool
+	infCount float64
+	line     int
+}
+
+type linter struct {
+	types   map[string]string // family → type
+	sampled map[string]bool   // family → samples seen (TYPE must precede)
+	series  map[string]int    // series key → first line (dup detection)
+	buckets map[string]*bucketState
+	counts  map[string]float64 // histogram series key → _count value
+	sums    map[string]bool    // histogram series key → _sum present
+}
+
+func (l *linter) line(line string, n int) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.comment(line, n)
+	}
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", n, err)
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("line %d: bad metric name %q", n, name)
+	}
+	for _, lb := range labels {
+		if !labelNameRe.MatchString(lb.Name) {
+			return fmt.Errorf("line %d: bad label name %q", n, lb.Name)
+		}
+	}
+
+	family, role := name, ""
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && l.types[base] == "histogram" {
+			family, role = base, suffix
+			break
+		}
+	}
+	typ, declared := l.types[family]
+	if !declared {
+		return fmt.Errorf("line %d: sample %s has no preceding # TYPE", n, name)
+	}
+	if typ == "histogram" && role == "" {
+		return fmt.Errorf("line %d: histogram family %s exposes bare sample %s", n, family, name)
+	}
+	l.sampled[family] = true
+
+	key := name + canonicalLabels(labels, "")
+	if first, dup := l.series[key]; dup {
+		return fmt.Errorf("line %d: duplicate series %s (first at line %d)", n, key, first)
+	}
+	l.series[key] = n
+
+	if typ != "histogram" {
+		return nil
+	}
+	hkey := family + canonicalLabels(labels, "le")
+	switch role {
+	case "_bucket":
+		le, ok := findLabel(labels, "le")
+		if !ok {
+			return fmt.Errorf("line %d: bucket sample %s without le label", n, name)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bucket le=%q does not parse: %v", n, le, err)
+		}
+		bs := l.buckets[hkey]
+		if bs == nil {
+			bs = &bucketState{family: family, line: n}
+			l.buckets[hkey] = bs
+		}
+		if bs.seenInf {
+			return fmt.Errorf("line %d: bucket after +Inf in series %s", n, hkey)
+		}
+		if bs.seenAny && bound <= bs.lastLE {
+			return fmt.Errorf("line %d: le buckets not strictly increasing in %s (%v after %v)",
+				n, hkey, bound, bs.lastLE)
+		}
+		if bs.seenAny && value < bs.lastCum {
+			return fmt.Errorf("line %d: cumulative bucket count decreased in %s (%v after %v)",
+				n, hkey, value, bs.lastCum)
+		}
+		bs.seenAny, bs.lastLE, bs.lastCum = true, bound, value
+		if le == "+Inf" {
+			bs.seenInf, bs.infCount = true, value
+		}
+	case "_count":
+		l.counts[hkey] = value
+	case "_sum":
+		l.sums[hkey] = true
+	}
+	return nil
+}
+
+func (l *linter) comment(line string, n int) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("line %d: malformed TYPE line %q", n, line)
+		}
+		name, typ := fields[2], fields[3]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("line %d: bad metric name %q in TYPE", n, name)
+		}
+		if !knownTypes[typ] {
+			return fmt.Errorf("line %d: unknown metric type %q", n, typ)
+		}
+		if _, dup := l.types[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", n, name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", n, name)
+		}
+		l.types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: malformed HELP line %q", n, line)
+		}
+	}
+	return nil
+}
+
+func (l *linter) finish() error {
+	for key, bs := range l.buckets {
+		if !bs.seenInf {
+			return fmt.Errorf("histogram series %s has no +Inf bucket", key)
+		}
+		count, ok := l.counts[key]
+		if !ok {
+			return fmt.Errorf("histogram series %s has buckets but no _count", key)
+		}
+		if count != bs.infCount {
+			return fmt.Errorf("histogram series %s: +Inf bucket %v != _count %v",
+				key, bs.infCount, count)
+		}
+		if !l.sums[key] {
+			return fmt.Errorf("histogram series %s has no _sum", key)
+		}
+	}
+	for key := range l.counts {
+		if _, ok := l.buckets[key]; !ok {
+			return fmt.Errorf("histogram series %s has _count but no buckets", key)
+		}
+	}
+	return nil
+}
+
+// parseSample splits one exposition sample line into name, labels and
+// value. Timestamps (an optional trailing integer) are accepted.
+func parseSample(line string) (string, []Label, float64, error) {
+	name := line
+	var labels []Label
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		var err error
+		labels, rest, err = parseLabels(line[i+1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		name, rest = line[:i], line[i:]
+	} else {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp], got %q", name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %q: bad timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder of
+// the line after the closing brace.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label set %q missing =", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("label %s value unterminated", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("label %s value ends in backslash", name)
+				}
+				esc := s[0]
+				s = s[1:]
+				switch esc {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(esc)
+				default:
+					val.WriteByte(esc) // tolerate Go-style escapes from %q
+				}
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+	}
+}
+
+// canonicalLabels renders a sorted, deduplication-stable key for a label
+// set, optionally dropping one label (le for histogram grouping).
+func canonicalLabels(labels []Label, drop string) string {
+	kept := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Name == drop {
+			continue
+		}
+		kept = append(kept, fmt.Sprintf("%s=%q", l.Name, l.Value))
+	}
+	sort.Strings(kept)
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// findLabel returns the value of the named label.
+func findLabel(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,137 @@
+// Package telemetry is the daemon's production-observability layer: a
+// dependency-free Prometheus text-format (exposition format v0.0.4)
+// encoder and linter, a per-stage latency collector built on
+// stats.Histogram, and job-lineage ID minting for request tracing.
+//
+// The package deliberately has no Prometheus client dependency — the
+// daemon's metric surface is small and fixed, so a hand-rolled encoder
+// that renders stats.HistogramSnapshot directly keeps the hot counters
+// on the simulator's own primitives and the binary hermetic.
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hybridvc/internal/stats"
+)
+
+// ContentType is the exposition-format content type served by GET
+// /metrics when the client negotiates text/plain.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// LatencyScale converts the collector's microsecond histogram samples to
+// the seconds Prometheus conventions require.
+const LatencyScale = 1e-6
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Encoder renders metric families in Prometheus text exposition format.
+// Families are emitted in call order; all series of one family must be
+// emitted contiguously (repeated calls with the same name reuse the
+// already-written # HELP/# TYPE header).
+type Encoder struct {
+	buf   bytes.Buffer
+	typed map[string]string // family name → declared type
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{typed: make(map[string]string)}
+}
+
+// Bytes returns the rendered exposition.
+func (e *Encoder) Bytes() []byte { return e.buf.Bytes() }
+
+// Counter emits one counter sample (monotonic; name should end _total).
+func (e *Encoder) Counter(name, help string, v uint64, labels ...Label) {
+	e.family(name, help, "counter")
+	e.sample(name, labels, float64(v))
+}
+
+// Gauge emits one gauge sample.
+func (e *Encoder) Gauge(name, help string, v float64, labels ...Label) {
+	e.family(name, help, "gauge")
+	e.sample(name, labels, v)
+}
+
+// Histogram emits one histogram series from a stats.HistogramSnapshot:
+// cumulative _bucket samples over the snapshot's per-bucket counts with
+// inclusive upper bounds as `le` values (matching Prometheus `le`
+// semantics exactly), a final +Inf bucket equal to the sample total,
+// then _sum and _count. scale converts the histogram's integer sample
+// unit to the exposed unit (e.g. LatencyScale for microseconds→seconds).
+func (e *Encoder) Histogram(name, help string, s stats.HistogramSnapshot, scale float64, labels ...Label) {
+	e.family(name, help, "histogram")
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		le := append(append([]Label(nil), labels...),
+			Label{Name: "le", Value: formatValue(float64(b) * scale)})
+		e.sample(name+"_bucket", le, float64(cum))
+	}
+	inf := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	e.sample(name+"_bucket", inf, float64(s.Total))
+	e.sample(name+"_sum", labels, float64(s.Sum)*scale)
+	e.sample(name+"_count", labels, float64(s.Total))
+}
+
+// family writes the # HELP/# TYPE header once per family. A family name
+// reused with a different type is a programming error worth failing
+// loudly on: the exposition would be unparseable.
+func (e *Encoder) family(name, help, typ string) {
+	if prev, ok := e.typed[name]; ok {
+		if prev != typ {
+			panic(fmt.Sprintf("telemetry: family %s redeclared as %s (was %s)", name, typ, prev))
+		}
+		return
+	}
+	e.typed[name] = typ
+	fmt.Fprintf(&e.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&e.buf, "# TYPE %s %s\n", name, typ)
+}
+
+func (e *Encoder) sample(name string, labels []Label, v float64) {
+	e.buf.WriteString(name)
+	if len(labels) > 0 {
+		e.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			// %q escapes \, " and newline exactly as the exposition
+			// format requires for label values.
+			fmt.Fprintf(&e.buf, "%s=%q", l.Name, l.Value)
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatValue(v))
+	e.buf.WriteByte('\n')
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the exposition format's spelling of infinities.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line: backslashes and newlines.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hybridvc/internal/stats"
+)
+
+func TestEncoderCounterGauge(t *testing.T) {
+	enc := NewEncoder()
+	enc.Counter("jobs_total", "Jobs seen.", 42)
+	enc.Gauge("queue_depth", "Queue depth.", 7)
+	enc.Gauge("build_info", "Build metadata.", 1, Label{Name: "version", Value: "v1.2"})
+	out := string(enc.Bytes())
+
+	for _, want := range []string{
+		"# HELP jobs_total Jobs seen.\n",
+		"# TYPE jobs_total counter\n",
+		"jobs_total 42\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 7\n",
+		"build_info{version=\"v1.2\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint(enc.Bytes()); err != nil {
+		t.Fatalf("Lint rejected encoder output: %v", err)
+	}
+}
+
+func TestEncoderLabelEscaping(t *testing.T) {
+	enc := NewEncoder()
+	enc.Gauge("g", "Help with \\ backslash\nand newline.", 1,
+		Label{Name: "v", Value: "a\"b\\c\nd"})
+	out := string(enc.Bytes())
+	if !strings.Contains(out, `v="a\"b\\c\nd"`) {
+		t.Errorf("label value not escaped: %s", out)
+	}
+	if !strings.Contains(out, `Help with \\ backslash\nand newline.`) {
+		t.Errorf("help not escaped: %s", out)
+	}
+	if err := Lint(enc.Bytes()); err != nil {
+		t.Fatalf("Lint rejected escaped output: %v", err)
+	}
+}
+
+func TestEncoderFamilyHeaderOnce(t *testing.T) {
+	enc := NewEncoder()
+	enc.Counter("c_total", "C.", 1, Label{Name: "k", Value: "a"})
+	enc.Counter("c_total", "C.", 2, Label{Name: "k", Value: "b"})
+	out := string(enc.Bytes())
+	if n := strings.Count(out, "# TYPE c_total counter"); n != 1 {
+		t.Errorf("want one TYPE header, got %d:\n%s", n, out)
+	}
+	if err := Lint(enc.Bytes()); err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+}
+
+func TestEncoderFamilyTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a family with a new type should panic")
+		}
+	}()
+	enc := NewEncoder()
+	enc.Counter("m", "M.", 1)
+	enc.Gauge("m", "M.", 1)
+}
+
+// TestEncoderHistogramProperty is the rendering contract: for random
+// sample sets, the emitted le buckets are cumulative (monotone
+// non-decreasing) and the +Inf bucket equals the histogram count.
+func TestEncoderHistogramProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		h := stats.NewHistogram(10, 100, 1_000, 10_000)
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Observe(uint64(rng.Intn(50_000)))
+		}
+		enc := NewEncoder()
+		enc.Histogram("lat_seconds", "Latency.", h.Snapshot(), LatencyScale)
+		out := enc.Bytes()
+		if err := Lint(out); err != nil {
+			t.Fatalf("trial %d: Lint: %v\n%s", trial, err, out)
+		}
+
+		var prev float64 = -1
+		var infCount, count float64
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.HasPrefix(line, "lat_seconds_bucket") {
+				name, labels, v, err := parseSample(line)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				_ = name
+				if v < prev {
+					t.Fatalf("trial %d: bucket counts not cumulative: %v after %v", trial, v, prev)
+				}
+				prev = v
+				if le, _ := findLabel(labels, "le"); le == "+Inf" {
+					infCount = v
+				}
+			}
+			if strings.HasPrefix(line, "lat_seconds_count") {
+				_, _, v, err := parseSample(line)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				count = v
+			}
+		}
+		if infCount != float64(h.Count()) || count != float64(h.Count()) {
+			t.Fatalf("trial %d: +Inf=%v _count=%v want %d", trial, infCount, count, h.Count())
+		}
+	}
+}
+
+func TestEncoderHistogramSumScaled(t *testing.T) {
+	h := stats.NewHistogram(100, 1000)
+	h.Observe(500)
+	h.Observe(1500)
+	enc := NewEncoder()
+	enc.Histogram("x_seconds", "X.", h.Snapshot(), LatencyScale)
+	want := fmt.Sprintf("x_seconds_sum %s\n", formatValue(2000*LatencyScale))
+	if !strings.Contains(string(enc.Bytes()), want) {
+		t.Errorf("missing %q in:\n%s", want, enc.Bytes())
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "foo 1\n",
+		"TYPE after samples": "# TYPE foo counter\nfoo 1\n" +
+			"# TYPE foo counter\n",
+		"unknown type":      "# TYPE foo widget\nfoo 1\n",
+		"bad metric name":   "# TYPE foo counter\n1foo 2\n",
+		"bad value":         "# TYPE foo counter\nfoo abc\n",
+		"duplicate series":  "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"bare histo sample": "# TYPE h histogram\nh 3\n",
+		"non-monotone le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 0\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"decreasing cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing _sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"count without buckets": "# TYPE h histogram\nh_count 4\nh_sum 1\n",
+	}
+	for name, in := range cases {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: Lint accepted malformed exposition:\n%s", name, in)
+		}
+	}
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	in := "# HELP h A histogram.\n# TYPE h histogram\n" +
+		"h_bucket{org=\"a\",le=\"0.5\"} 1\n" +
+		"h_bucket{org=\"a\",le=\"+Inf\"} 2\n" +
+		"h_sum{org=\"a\"} 1.5\n" +
+		"h_count{org=\"a\"} 2\n" +
+		"# TYPE up gauge\nup 1\n"
+	if err := Lint([]byte(in)); err != nil {
+		t.Fatalf("Lint rejected well-formed exposition: %v", err)
+	}
+}
+
+func TestLineageIDs(t *testing.T) {
+	a, b := NewLineageID(), NewLineageID()
+	if a == b {
+		t.Fatalf("lineage IDs collide: %s", a)
+	}
+	if !strings.HasPrefix(a, "lin-") || len(a) != len("lin-")+16 {
+		t.Fatalf("unexpected lineage ID shape: %q", a)
+	}
+	if got := LineageFrom("req-abc.123"); got != "req-abc.123" {
+		t.Errorf("valid request ID not adopted: %q", got)
+	}
+	for _, bad := range []string{"", "has space", strings.Repeat("x", 65), "emoji-\u00e9", "quote\""} {
+		if got := LineageFrom(bad); !strings.HasPrefix(got, "lin-") {
+			t.Errorf("LineageFrom(%q) = %q, want minted ID", bad, got)
+		}
+	}
+}
