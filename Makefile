@@ -2,7 +2,7 @@
 # suite under the race detector (the sweep runner is concurrent).
 GO ?= go
 
-.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race sim-race metrics-lint staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
+.PHONY: all build test race vet ci parity invariants fuzz-smoke service-race sim-race chaos metrics-lint staticcheck govulncheck bench bench-hotpath bench-check bench-all bench-service sweep sweep-full clean
 
 all: build
 
@@ -26,7 +26,7 @@ race:
 # Set BENCH_CHECK=1 to also gate hot-path throughput against the
 # committed BENCH_hotpath.json (off by default: benchmark wall time and
 # machine-to-machine variance don't belong in every CI run).
-ci: vet staticcheck govulncheck test race service-race sim-race metrics-lint parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
+ci: vet staticcheck govulncheck test race service-race sim-race chaos metrics-lint parity invariants fuzz-smoke $(if $(BENCH_CHECK),bench-check)
 
 # service-race runs the hvcd service integration suite alone under the
 # race detector: concurrent clients submitting/watching/cancelling jobs
@@ -34,6 +34,14 @@ ci: vet staticcheck govulncheck test race service-race sim-race metrics-lint par
 # so it gets its own CI line even though `race` also covers it.
 service-race:
 	$(GO) test -race -count=1 ./internal/service/...
+
+# chaos runs the deterministic service-chaos suite under the race
+# detector: seeded store write faults (fail/tear/bit-flip), jobs blowing
+# their deadlines, an overload-breaker trip and mid-stream client
+# disconnects, each asserting no corrupt record is served, no watcher
+# deadlocks, and the daemon converges back to healthy.
+chaos:
+	$(GO) test -race -count=1 ./internal/service/chaos
 
 # metrics-lint boots an in-process daemon, runs jobs through it, scrapes
 # GET /metrics as a Prometheus client would and validates the exposition

@@ -102,7 +102,7 @@ commands:
   jobs         list jobs
   orgs         list organizations and workloads
   experiments  list registered experiments
-  health       daemon health
+  health       daemon liveness (/healthz) and readiness (/readyz)
   metrics      daemon counters (-prom for Prometheus text format)
   bench        load-generate and record sustained jobs/sec
 `)
@@ -289,7 +289,12 @@ func cmdHealth(ctx context.Context, c *client.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("status=%s version=%q jobs=%d draining=%v\n", h.Status, h.Version, h.Jobs, h.Draining)
+	fmt.Printf("healthz: status=%s version=%q jobs=%d draining=%v\n", h.Status, h.Version, h.Jobs, h.Draining)
+	r, err := c.Ready(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("readyz:  status=%s draining=%v breaker=%s\n", r.Status, r.Draining, r.Breaker)
 	return nil
 }
 

@@ -13,7 +13,8 @@
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/orgs               organization + workload catalog
 //	GET    /v1/experiments        experiment registry
-//	GET    /healthz, /metrics     liveness; counters as JSON or Prometheus text
+//	GET    /healthz, /readyz      liveness; readiness (503 draining/overloaded)
+//	GET    /metrics               counters as JSON or Prometheus text
 //
 // SIGTERM/SIGINT drains gracefully: submissions are refused, running
 // simulations quiesce at a chunk boundary, running sweeps checkpoint
@@ -53,6 +54,13 @@ func main() {
 	retries := flag.Int("retries", 0, "re-run transiently failed cells up to this many times")
 	backoff := flag.Duration("retry-backoff", 0, "base pause between retry attempts (default 100ms)")
 	spool := flag.String("spool", "", "sweep checkpoint spool directory (default: per-process temp dir)")
+	storeDir := flag.String("store", "", "durable result store directory (empty = memory-only cache)")
+	storeTTL := flag.Duration("store-ttl", 24*time.Hour, "expire store records this long after write (< 0 = never)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "store size budget, oldest records evicted first (< 0 = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline from submission to completion (0 = unbounded)")
+	breakerWait := flag.Duration("breaker-queue-wait", 0, "open the overload breaker when queue waits exceed this (0 = breaker disabled)")
+	breakerTrips := flag.Int("breaker-trips", 3, "consecutive slow queue waits that trip the breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the tripped breaker sheds before probing again")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 	quiet := flag.Bool("quiet", false, "log warnings and errors only")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
@@ -76,6 +84,15 @@ func main() {
 		RetryBackoff: *backoff,
 		SpoolDir:     *spool,
 		Logger:       logger,
+
+		StoreDir:      *storeDir,
+		StoreTTL:      *storeTTL,
+		StoreMaxBytes: *storeMaxBytes,
+		JobTimeout:    *jobTimeout,
+
+		BreakerQueueWait: *breakerWait,
+		BreakerTrips:     *breakerTrips,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hvcd:", err)

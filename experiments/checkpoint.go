@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"hybridvc/internal/sim"
@@ -46,6 +47,14 @@ func openCheckpoint(path string, cells []Cell, results []CellResult, restored []
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	// Each record fsyncs on append, but a freshly created journal also
+	// needs its DIRECTORY entry durable, or a crash right after creation
+	// can lose the whole file name. Best-effort, like the record syncs'
+	// host filesystems allow.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return &checkpoint{f: f}, nil
 }

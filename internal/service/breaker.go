@@ -1,0 +1,157 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exported as the hvcd_breaker_state gauge (and the
+// string form in /readyz and MetricsSnapshot).
+const (
+	BreakerClosed   = "closed"    // gauge 0: admitting fresh work
+	BreakerHalfOpen = "half-open" // gauge 1: probing after a cooldown
+	BreakerOpen     = "open"      // gauge 2: shedding fresh submissions
+)
+
+// BreakerStateValue maps a breaker state string to its gauge value.
+func BreakerStateValue(state string) float64 {
+	switch state {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// breaker is the daemon's overload circuit breaker. It watches the one
+// signal that directly measures overload — how long jobs sat in the
+// queue before a worker picked them up (the same quantity the
+// hvcd_queue_wait_seconds histogram records) — and trips when that wait
+// exceeds the threshold for `trips` consecutive pickups. While open,
+// fresh submissions are shed with ErrOverloaded (HTTP 503 + Retry-After)
+// but deduplicated, cached and disk-served results keep flowing: the
+// daemon degrades to a read-mostly cache instead of collapsing under a
+// queue it can no longer drain. After the cooldown the breaker goes
+// half-open and the next pickup decides: a fast one closes it, a slow
+// one re-opens it for another cooldown.
+//
+// A zero threshold disables the breaker entirely (always closed).
+type breaker struct {
+	threshold time.Duration
+	trips     int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    string
+	consec   int       // consecutive over-threshold pickups while closed
+	openedAt time.Time // last closed/half-open → open transition
+	tripped  uint64    // total open transitions
+	shed     uint64    // submissions rejected while open
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables it.
+func newBreaker(threshold time.Duration, trips int, cooldown time.Duration) *breaker {
+	if trips < 1 {
+		trips = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{
+		threshold: threshold,
+		trips:     trips,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     BreakerClosed,
+	}
+}
+
+// admit reports whether a fresh submission may be enqueued, counting the
+// shed ones. An open breaker whose cooldown has elapsed transitions to
+// half-open and admits the probe.
+func (b *breaker) admit() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.consec = 0
+		} else {
+			b.shed++
+			return false
+		}
+	}
+	return true
+}
+
+// observe records one job's queue wait at worker pickup and drives the
+// state machine.
+func (b *breaker) observe(queueWait time.Duration) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	slow := queueWait > b.threshold
+	switch b.state {
+	case BreakerClosed:
+		if !slow {
+			b.consec = 0
+			return
+		}
+		b.consec++
+		if b.consec >= b.trips {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if slow {
+			b.trip()
+		} else {
+			b.state = BreakerClosed
+			b.consec = 0
+		}
+	case BreakerOpen:
+		// Jobs admitted before the trip are still draining; their waits
+		// carry no new information about the post-trip queue.
+	}
+}
+
+// trip opens the breaker. Caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.tripped++
+	b.consec = 0
+}
+
+// snapshot returns the state string and counters.
+func (b *breaker) snapshot() (state string, tripped, shed uint64) {
+	if b.threshold <= 0 {
+		return BreakerClosed, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.tripped, b.shed
+}
+
+// retryAfter estimates whole seconds until the breaker could admit again
+// (the Retry-After header on shed submissions). At least 1.
+func (b *breaker) retryAfter() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 1
+	}
+	left := b.cooldown - b.now().Sub(b.openedAt)
+	secs := int((left + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

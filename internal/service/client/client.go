@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -46,9 +47,11 @@ func (e *APIError) Error() string {
 }
 
 // IsRetryable reports whether the submission should simply be retried
-// later: queue backpressure or rate limiting.
+// later: queue backpressure or rate limiting (429), and temporary
+// unavailability (503 — a draining daemon or an open overload breaker).
 func (e *APIError) IsRetryable() bool {
-	return e.StatusCode == http.StatusTooManyRequests
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusServiceUnavailable
 }
 
 // do issues a request and decodes a JSON body into out (when non-nil).
@@ -106,11 +109,76 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.Subm
 	return out, err
 }
 
-// SubmitWait submits with bounded retries on backpressure (429): it
-// honours Retry-After and gives up when ctx expires. Non-retryable
+// Backoff parameterizes SubmitWait's retry pacing for retryable
+// rejections (429/503) that carry no Retry-After hint: a capped jittered
+// exponential starting at Base and doubling up to Max per retry, bounded
+// overall by MaxElapsed. The zero value is usable; every field defaults.
+type Backoff struct {
+	// Base is the first retry's delay (default 100ms).
+	Base time.Duration
+	// Max caps any single computed delay (default 5s). A server-supplied
+	// Retry-After is honoured as-is, uncapped.
+	Max time.Duration
+	// MaxElapsed bounds the total time spent retrying, measured from the
+	// first attempt: once a computed wait would cross it, the last error
+	// is returned instead of sleeping (default 2m).
+	MaxElapsed time.Duration
+	// Jitter is the fraction of each delay randomized away, spreading
+	// synchronized retry herds: a delay d becomes uniform in
+	// [d*(1-Jitter), d]. 0 defaults to 0.5; negative disables jitter.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.MaxElapsed <= 0 {
+		b.MaxElapsed = 2 * time.Minute
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// delay computes the (jittered) delay before retry number attempt
+// (0-based).
+func (b Backoff) delay(attempt int) time.Duration {
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		d -= time.Duration(b.Jitter * rand.Float64() * float64(d))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// SubmitWait submits with bounded retries on retryable rejections
+// (429 backpressure/rate limiting, 503 draining/overloaded): it honours
+// Retry-After when the server supplies one, otherwise paces itself with
+// the default capped jittered exponential Backoff, and gives up when ctx
+// expires or the backoff's MaxElapsed budget is spent. Non-retryable
 // errors return immediately.
 func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (service.SubmitResponse, error) {
-	for {
+	return c.SubmitWaitBackoff(ctx, spec, Backoff{})
+}
+
+// SubmitWaitBackoff is SubmitWait with explicit retry pacing.
+func (c *Client) SubmitWaitBackoff(ctx context.Context, spec service.JobSpec, b Backoff) (service.SubmitResponse, error) {
+	b = b.withDefaults()
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
 		out, err := c.Submit(ctx, spec)
 		apiErr, ok := err.(*APIError)
 		if err == nil || !ok || !apiErr.IsRetryable() {
@@ -118,7 +186,11 @@ func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (service.
 		}
 		wait := apiErr.RetryAfter
 		if wait <= 0 {
-			wait = 100 * time.Millisecond
+			wait = b.delay(attempt)
+		}
+		if time.Since(start)+wait > b.MaxElapsed {
+			return out, fmt.Errorf("hvcd: submit retries exhausted after %v: %w",
+				time.Since(start).Round(time.Millisecond), apiErr)
 		}
 		select {
 		case <-ctx.Done():
@@ -236,6 +308,26 @@ func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
 	}
 	defer resp.Body.Close()
 	var out service.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Ready fetches /readyz. Like Health, the 503 a draining or overloaded
+// daemon answers still carries a body, so that case is not an error
+// here — inspect the returned Status/Breaker fields.
+func (c *Client) Ready(ctx context.Context) (service.ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return service.ReadyResponse{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.ReadyResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out service.ReadyResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, err
 	}

@@ -1,0 +1,163 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridvc/internal/service"
+)
+
+// flakyServer answers /v1/jobs with `fail` retryable rejections (no
+// Retry-After) before accepting, recording each request's arrival time.
+func flakyServer(t *testing.T, fail int, code int) (*Client, *[]time.Time, *atomic.Int32) {
+	t.Helper()
+	var times []time.Time
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		times = append(times, time.Now()) // SubmitWait retries serially; no race
+		n := calls.Add(1)
+		if int(n) <= fail {
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(service.ErrorResponse{Error: "try later"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.SubmitResponse{ID: "j-1", State: service.StateQueued})
+	}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL, nil), &times, &calls
+}
+
+// TestSubmitWaitBackoffFlaky529 and ...503 prove SubmitWait rides out a
+// flaky server: retryable rejections without Retry-After are retried
+// with growing delays until the submission lands.
+func TestSubmitWaitBackoffFlaky(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		c, times, calls := flakyServer(t, 3, code)
+		resp, err := c.SubmitWaitBackoff(context.Background(), service.JobSpec{},
+			Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, MaxElapsed: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		if resp.ID != "j-1" {
+			t.Fatalf("code %d: resp %+v", code, resp)
+		}
+		if n := calls.Load(); n != 4 {
+			t.Fatalf("code %d: %d requests, want 4 (3 rejections + success)", code, n)
+		}
+		// Delays grow: the third gap's floor (20ms*(1-jitter)=10ms) sits
+		// above the first gap's ceiling... jitter makes exact ordering
+		// flaky, so just require every gap respects the jittered floor of
+		// its attempt and the total shows real waiting.
+		gaps := make([]time.Duration, 0, 3)
+		for i := 1; i < len(*times); i++ {
+			gaps = append(gaps, (*times)[i].Sub((*times)[i-1]))
+		}
+		want := []time.Duration{5, 10, 20} // ms floors: base 10, 20, 40 each jittered by up to 1/2
+		for i, g := range gaps {
+			if g < want[i]*time.Millisecond {
+				t.Errorf("code %d: gap %d = %v, below jittered floor %vms", code, i, g, want[i])
+			}
+		}
+	}
+}
+
+// TestSubmitWaitMaxElapsed: a server that never recovers exhausts the
+// retry budget and surfaces the last APIError instead of spinning
+// forever.
+func TestSubmitWaitMaxElapsed(t *testing.T) {
+	c, _, calls := flakyServer(t, 1<<30, http.StatusServiceUnavailable)
+	start := time.Now()
+	_, err := c.SubmitWaitBackoff(context.Background(), service.JobSpec{},
+		Backoff{Base: 10 * time.Millisecond, Max: 20 * time.Millisecond, MaxElapsed: 150 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("submit against a dead server succeeded")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("error does not wrap the 503 APIError: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("gave up after %v, budget was 150ms", elapsed)
+	}
+	if calls.Load() < 2 {
+		t.Errorf("only %d attempts before giving up", calls.Load())
+	}
+}
+
+// TestSubmitWaitHonorsRetryAfter: an explicit server hint overrides the
+// exponential schedule.
+func TestSubmitWaitHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(service.ErrorResponse{Error: "limited"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.SubmitResponse{ID: "j-2", State: service.StateQueued})
+	}))
+	t.Cleanup(ts.Close)
+	start := time.Now()
+	resp, err := New(ts.URL, nil).SubmitWaitBackoff(context.Background(), service.JobSpec{},
+		Backoff{Base: time.Millisecond, MaxElapsed: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "j-2" {
+		t.Fatalf("resp %+v", resp)
+	}
+	if gap := time.Since(start); gap < time.Second {
+		t.Errorf("retried after %v, Retry-After asked for 1s", gap)
+	}
+}
+
+// TestSubmitWaitNonRetryable: a 400 returns immediately, no retries.
+func TestSubmitWaitNonRetryable(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(service.ErrorResponse{Error: "bad spec"})
+	}))
+	t.Cleanup(ts.Close)
+	_, err := New(ts.URL, nil).SubmitWait(context.Background(), service.JobSpec{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if apiErr.IsRetryable() {
+		t.Error("400 reported retryable")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("%d attempts on a non-retryable error, want 1", calls.Load())
+	}
+}
+
+// TestBackoffDelayBounds pins the schedule: doubling from Base, capped
+// at Max, never below the jitter floor.
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5}.withDefaults()
+	for attempt, wantCeil := range []time.Duration{10, 20, 40, 80, 80, 80} {
+		ceil := wantCeil * time.Millisecond
+		for i := 0; i < 50; i++ {
+			d := b.delay(attempt)
+			if d > ceil || d < ceil/2 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+			}
+		}
+	}
+	nj := Backoff{Base: time.Millisecond, Max: time.Second, Jitter: -1}.withDefaults()
+	if d := nj.delay(3); d != 8*time.Millisecond {
+		t.Errorf("unjittered attempt 3 delay = %v, want 8ms", d)
+	}
+}

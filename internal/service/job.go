@@ -53,12 +53,19 @@ type Job struct {
 	reportJSON    []byte
 	tables        []string
 	cached        bool
+	provenance    string // cache-served jobs: "memory" or "disk"
 	checkpoint    string
 	parentLineage string
 	created       time.Time
 	started       time.Time
 	finished      time.Time
 	tl            *stats.Timeline
+
+	// expired marks a job whose per-job deadline fired; the worker then
+	// finalizes it as failed-with-reason instead of canceled. deadline
+	// is the armed timer, stopped on finish.
+	expired  bool
+	deadline *time.Timer
 }
 
 // newJob creates a queued job with its own cancellation context,
@@ -81,6 +88,43 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // Cancel requests cancellation. It is idempotent and a no-op once the
 // job is terminal.
 func (j *Job) Cancel() { j.cancel() }
+
+// armDeadline starts the job's deadline clock: d after now, a
+// still-unfinished job is marked expired and its context cancelled, so
+// a running simulation quiesces at its next chunk boundary and the
+// worker finalizes the job as failed ("deadline exceeded") rather than
+// leaving watchers hanging on a job that will never finish. d <= 0
+// leaves the job unbounded.
+func (j *Job) armDeadline(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	j.mu.Lock()
+	if !terminal(j.state) {
+		j.deadline = time.AfterFunc(d, j.expire)
+	}
+	j.mu.Unlock()
+}
+
+// expire marks the job deadline-exceeded and cancels its context. A
+// no-op once the job is terminal (the timer racing a normal finish).
+func (j *Job) expire() {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.expired = true
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// Expired reports whether the job's deadline fired before it finished.
+func (j *Job) Expired() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.expired
+}
 
 // State returns the current state.
 func (j *Job) State() string {
@@ -134,6 +178,10 @@ func (j *Job) finish(state string, report []byte, tables []string, errMsg string
 	j.tables = tables
 	j.errMsg = errMsg
 	j.finished = time.Now()
+	if j.deadline != nil {
+		j.deadline.Stop()
+		j.deadline = nil
+	}
 	j.mu.Unlock()
 	j.cancel() // release the context watcher; idempotent
 	close(j.done)
@@ -142,14 +190,16 @@ func (j *Job) finish(state string, report []byte, tables []string, errMsg string
 // finishCached marks a freshly created job done with a cache-served
 // result (it was never queued). parentLineage is the lineage ID of the
 // job that originally produced the cached result, so the lineage chain
-// request → cached result → producing run stays traceable.
-func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval, parentLineage string) {
+// request → cached result → producing run stays traceable; provenance
+// records which tier served it ("memory" or "disk").
+func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval, parentLineage, provenance string) {
 	tl := &stats.Timeline{}
 	for _, iv := range intervals {
 		tl.Append(iv)
 	}
 	j.mu.Lock()
 	j.cached = true
+	j.provenance = provenance
 	j.tl = tl
 	j.parentLineage = parentLineage
 	j.created = time.Now()
@@ -185,7 +235,11 @@ type JobStatus struct {
 	Key    string `json:"key"`
 	State  string `json:"state"`
 	Cached bool   `json:"cached"`
-	Error  string `json:"error,omitempty"`
+	// Provenance records which cache tier served a born-done job:
+	// "memory" (LRU) or "disk" (durable store). Empty for fresh runs and
+	// coalesced submissions.
+	Provenance string `json:"provenance,omitempty"`
+	Error      string `json:"error,omitempty"`
 
 	// Lineage is the lineage ID of the submission that created the job;
 	// ParentLineage (cache-served jobs only) is the lineage of the run
@@ -219,7 +273,8 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.ID, Key: j.Key, State: j.state, Cached: j.cached,
-		Error: j.errMsg, Spec: j.Spec, Checkpoint: j.checkpoint,
+		Provenance: j.provenance,
+		Error:      j.errMsg, Spec: j.Spec, Checkpoint: j.checkpoint,
 		Lineage: j.Lineage, ParentLineage: j.parentLineage,
 		Created: j.created,
 	}

@@ -17,6 +17,7 @@ import (
 
 	"hybridvc"
 	"hybridvc/experiments"
+	"hybridvc/internal/service/store"
 	"hybridvc/internal/sim"
 	"hybridvc/internal/telemetry"
 )
@@ -50,6 +51,39 @@ type Config struct {
 	// (default: a per-process temp dir).
 	SpoolDir string
 
+	// StoreDir enables the durable result store: completed results are
+	// persisted there (atomic, checksummed — see the store package) and
+	// a restarted daemon serves them as warm cache hits with
+	// provenance=disk. Empty disables the disk tier; the daemon is then
+	// memory-only as before.
+	StoreDir string
+	// StoreTTL expires store records this long after they were written
+	// (default 24h; < 0 disables expiry).
+	StoreTTL time.Duration
+	// StoreMaxBytes bounds the store size, evicting oldest records
+	// first (default 256 MiB; < 0 is unbounded).
+	StoreMaxBytes int64
+	// StoreHooks inject store write faults; the chaos harness seeds
+	// them. Zero value for production.
+	StoreHooks store.Hooks
+
+	// JobTimeout is the per-job deadline, armed at submission: a job
+	// still unfinished this long after it was accepted — stuck in the
+	// queue or executing — is cancelled and lands in the failed state
+	// with a deadline-exceeded reason, so watchers always unblock
+	// (0 = unbounded).
+	JobTimeout time.Duration
+
+	// BreakerQueueWait arms the overload breaker: when jobs wait longer
+	// than this in the queue for BreakerTrips consecutive worker
+	// pickups, the breaker opens and fresh submissions are shed with
+	// 503 + Retry-After for BreakerCooldown while cached, deduplicated
+	// and disk-served results keep flowing (0 disables the breaker;
+	// trips default 3, cooldown default 5s).
+	BreakerQueueWait time.Duration
+	BreakerTrips     int
+	BreakerCooldown  time.Duration
+
 	// Logger receives structured request and job-lifecycle logs: one
 	// record per lifecycle transition carrying the lineage ID, spec key,
 	// org/experiment and stage latencies (nil = silent).
@@ -69,6 +103,18 @@ func (c *Config) fillDefaults() {
 	if c.RateBurst <= 0 {
 		c.RateBurst = 10
 	}
+	if c.StoreTTL == 0 {
+		c.StoreTTL = 24 * time.Hour
+	}
+	if c.StoreMaxBytes == 0 {
+		c.StoreMaxBytes = 256 << 20
+	}
+	if c.BreakerTrips <= 0 {
+		c.BreakerTrips = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -86,6 +132,7 @@ type metrics struct {
 	canceled    atomic.Uint64
 	rateLimited atomic.Uint64 // submissions rejected 429 by the limiter
 	queueFull   atomic.Uint64 // submissions rejected 429 by backpressure
+	deadlines   atomic.Uint64 // jobs failed by the per-job deadline
 	busy        atomic.Int64  // workers currently executing a job (gauge)
 
 	// The "completed" counter lives in the telemetry collector: it IS the
@@ -113,6 +160,20 @@ type MetricsSnapshot struct {
 	WorkersBusy int    `json:"workers_busy"`
 	Draining    bool   `json:"draining"`
 	UptimeSec   int64  `json:"uptime_sec"`
+
+	// DeadlineExceeded counts jobs failed by the per-job deadline (a
+	// subset of Failed).
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+
+	// Overload breaker: state string ("closed", "half-open", "open"),
+	// total open transitions, and submissions shed while open.
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	Shed         uint64 `json:"shed"`
+
+	// Store is the durable-tier counter block; nil when the disk store
+	// is disabled.
+	Store *store.Metrics `json:"store,omitempty"`
 }
 
 // Server schedules jobs on a bounded worker pool and answers the HTTP
@@ -121,7 +182,9 @@ type MetricsSnapshot struct {
 type Server struct {
 	cfg     Config
 	cache   *resultCache
+	store   *store.Store // durable second tier; nil when disabled
 	limiter *rateLimiter
+	breaker *breaker
 	met     metrics
 	tel     *telemetry.Collector
 	logger  *slog.Logger
@@ -161,11 +224,26 @@ func New(cfg Config) (*Server, error) {
 	} else if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: spool dir: %w", err)
 	}
+	var disk *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		disk, err = store.Open(store.Options{
+			Dir:      cfg.StoreDir,
+			TTL:      cfg.StoreTTL,
+			MaxBytes: cfg.StoreMaxBytes,
+			Hooks:    cfg.StoreHooks,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheEntries),
+		store:    disk,
 		limiter:  newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		breaker:  newBreaker(cfg.BreakerQueueWait, cfg.BreakerTrips, cfg.BreakerCooldown),
 		tel:      telemetry.NewCollector(),
 		logger:   cfg.Logger,
 		lifetime: ctx,
@@ -176,6 +254,9 @@ func New(cfg Config) (*Server, error) {
 		started:  time.Now(),
 	}, nil
 }
+
+// Store returns the durable result store (nil when disabled).
+func (s *Server) Store() *store.Store { return s.store }
 
 // Telemetry returns the daemon's stage-latency collector (the /metrics
 // Prometheus exposition renders it).
@@ -204,6 +285,10 @@ var (
 	ErrQueueFull = errors.New("job queue is full")
 	// ErrDraining is returned once Drain has begun — mapped to 503.
 	ErrDraining = errors.New("server is draining")
+	// ErrOverloaded is returned while the overload breaker is open:
+	// fresh submissions are shed (mapped to 503 + Retry-After) while
+	// deduplicated, cached and disk-served results keep flowing.
+	ErrOverloaded = errors.New("server overloaded: breaker open, retry later")
 )
 
 // SubmitResult reports how a submission was satisfied.
@@ -276,11 +361,38 @@ func (s *Server) SubmitWithLineage(spec JobSpec, lineage string) (SubmitResult, 
 	// out of the registry, or the key was evicted from byKey on retry).
 	if e, ok := s.cache.get(key); ok {
 		job := newJob(s.newID(), key, lineage, spec, s.lifetime)
-		job.finishCached(e.reportJSON, e.tables, e.intervals, e.lineage)
+		job.finishCached(e.reportJSON, e.tables, e.intervals, e.lineage, "memory")
 		s.register(job)
 		s.tel.ObserveCacheServe(time.Since(arrived))
-		s.logJob(job, "", "submitted", "cache_hit", true, "origin", e.lineage)
+		s.logJob(job, "", "submitted", "cache_hit", true, "provenance", "memory", "origin", e.lineage)
 		return SubmitResult{Job: job, Lineage: lineage, Origin: e.lineage}, nil
+	}
+
+	// Second tier: the durable store. A hit means some earlier daemon
+	// life produced this exact result — serve it, promote it into the
+	// memory LRU, and record provenance=disk in the lineage chain. A
+	// miss is an in-memory index lookup, not disk I/O.
+	if s.store != nil {
+		if rec, ok := s.store.Get(key); ok {
+			e := &cacheEntry{
+				reportJSON: rec.Report, tables: rec.Tables,
+				intervals: rec.Intervals, lineage: rec.Lineage,
+			}
+			s.cache.put(key, e)
+			job := newJob(s.newID(), key, lineage, spec, s.lifetime)
+			job.finishCached(e.reportJSON, e.tables, e.intervals, e.lineage, "disk")
+			s.register(job)
+			s.tel.ObserveCacheServe(time.Since(arrived))
+			s.logJob(job, "", "submitted", "cache_hit", true, "provenance", "disk", "origin", e.lineage)
+			return SubmitResult{Job: job, Lineage: lineage, Origin: e.lineage}, nil
+		}
+	}
+
+	// Only genuinely fresh work reaches the breaker: an open breaker
+	// sheds new simulations but everything above — dedup, memory, disk —
+	// still serves.
+	if !s.breaker.admit() {
+		return SubmitResult{}, ErrOverloaded
 	}
 
 	job := newJob(s.newID(), key, lineage, spec, s.lifetime)
@@ -291,6 +403,7 @@ func (s *Server) SubmitWithLineage(spec JobSpec, lineage string) (SubmitResult, 
 		job.cancel()
 		return SubmitResult{}, ErrQueueFull
 	}
+	job.armDeadline(s.cfg.JobTimeout)
 	s.register(job)
 	s.logJob(job, "", "submitted")
 	return SubmitResult{Job: job, Fresh: true, Lineage: lineage, Origin: lineage}, nil
@@ -374,6 +487,12 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	s.mu.Lock()
 	jobs, draining := len(s.jobs), s.draining
 	s.mu.Unlock()
+	breakerState, breakerTrips, shed := s.breaker.snapshot()
+	var storeMet *store.Metrics
+	if s.store != nil {
+		m := s.store.Metrics()
+		storeMet = &m
+	}
 	return MetricsSnapshot{
 		Submitted:   s.met.submitted.Load(),
 		Deduped:     s.met.deduped.Load(),
@@ -393,6 +512,12 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		WorkersBusy: int(s.met.busy.Load()),
 		Draining:    draining,
 		UptimeSec:   int64(time.Since(s.started).Seconds()),
+
+		DeadlineExceeded: s.met.deadlines.Load(),
+		BreakerState:     breakerState,
+		BreakerTrips:     breakerTrips,
+		Shed:             shed,
+		Store:            storeMet,
 	}
 }
 
@@ -453,6 +578,15 @@ func (s *Server) runJob(job *Job) {
 	s.met.busy.Add(1)
 	defer s.met.busy.Add(-1)
 	if !job.start() {
+		if job.Expired() {
+			// The deadline fired while the job sat in the queue.
+			job.finish(StateFailed, nil, nil, "job deadline exceeded while queued")
+			s.met.deadlines.Add(1)
+			s.met.failed.Add(1)
+			s.unbindKey(job)
+			s.logJob(job, "", "failed", "error", "job deadline exceeded while queued")
+			return
+		}
 		// Cancelled while queued.
 		job.finish(StateCanceled, nil, nil, "canceled before start")
 		s.met.canceled.Add(1)
@@ -460,6 +594,7 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	queueWait, _, _ := job.latencies(time.Now())
+	s.breaker.observe(queueWait)
 	s.logJob(job, "", "running", "queue_wait_s", queueWait.Seconds())
 
 	var (
@@ -481,12 +616,34 @@ func (s *Server) runJob(job *Job) {
 			entry.intervals = tl.Intervals()
 		}
 		s.cache.put(job.Key, entry)
+		if s.store != nil {
+			// Durable tier is best-effort on the write path: a failed write
+			// (full disk, injected fault) costs warm restarts, not this
+			// result.
+			if perr := s.store.Put(store.Record{
+				Key: job.Key, Report: report, Tables: tables,
+				Intervals: entry.intervals, Lineage: job.Lineage,
+			}); perr != nil {
+				s.logger.Warn("result store write failed",
+					"job", job.ID, "key", job.Key, "error", perr.Error())
+			}
+		}
 		// Observe stage latencies BEFORE finish wakes watchers: a client
 		// that sees "done" must also see the counters agreeing.
 		wait, exec, e2e := job.latencies(time.Now())
 		s.tel.ObserveCompleted(job.Spec.Org, wait, exec, e2e)
 		job.finish(StateDone, report, tables, "")
 		s.logJob(job, "", "done", "queue_wait_s", wait.Seconds(),
+			"exec_s", exec.Seconds(), "e2e_s", e2e.Seconds())
+	case job.Expired():
+		// Deadline fired mid-execution: terminal failed, not canceled, so
+		// watchers see the reason and resubmission runs fresh.
+		job.finish(StateFailed, nil, nil, "job deadline exceeded: "+err.Error())
+		s.met.deadlines.Add(1)
+		s.met.failed.Add(1)
+		s.unbindKey(job)
+		_, exec, e2e := job.latencies(time.Now())
+		s.logJob(job, "", "failed", "error", "job deadline exceeded",
 			"exec_s", exec.Seconds(), "e2e_s", e2e.Seconds())
 	case job.ctx.Err() != nil:
 		job.finish(StateCanceled, nil, nil, err.Error())

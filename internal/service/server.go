@@ -13,6 +13,7 @@ import (
 	"hybridvc"
 	"hybridvc/experiments"
 	"hybridvc/internal/buildinfo"
+	"hybridvc/internal/service/store"
 	"hybridvc/internal/stats"
 	"hybridvc/internal/telemetry"
 	"hybridvc/internal/workload"
@@ -73,12 +74,25 @@ type ExperimentInfo struct {
 	Description string `json:"description"`
 }
 
-// HealthResponse answers GET /healthz.
+// HealthResponse answers GET /healthz — pure liveness: it is 200 as
+// long as the process can answer HTTP, even while draining.
 type HealthResponse struct {
 	Status   string `json:"status"` // "ok" or "draining"
 	Version  string `json:"version"`
 	Jobs     int    `json:"jobs"`
 	Draining bool   `json:"draining"`
+}
+
+// ReadyResponse answers GET /readyz — readiness: 503 while the server
+// is draining or the overload breaker is open, 200 otherwise, so load
+// balancers stop routing fresh work to a daemon that would shed it
+// while the liveness probe keeps the process alive.
+type ReadyResponse struct {
+	Status   string `json:"status"` // "ready", "draining" or "overloaded"
+	Draining bool   `json:"draining"`
+	// Breaker is the overload breaker state: "closed", "half-open" or
+	// "open".
+	Breaker string `json:"breaker"`
 }
 
 // Handler returns the daemon's HTTP API, wrapped in structured request
@@ -94,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/orgs", s.handleOrgs)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logRequests(mux)
 }
@@ -179,6 +194,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err == ErrOverloaded:
+		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.retryAfter()))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err == ErrQueueFull:
@@ -384,15 +403,31 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	m := s.MetricsSnapshot()
 	status := "ok"
-	code := http.StatusOK
 	if m.Draining {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, HealthResponse{
+	// Liveness is always 200: a draining daemon is still alive and still
+	// serving cached results. Readiness (/readyz) carries the 503.
+	writeJSON(w, http.StatusOK, HealthResponse{
 		Status: status, Version: buildinfo.Version(),
 		Jobs: m.Jobs, Draining: m.Draining,
 	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	m := s.MetricsSnapshot()
+	resp := ReadyResponse{Status: "ready", Draining: m.Draining, Breaker: m.BreakerState}
+	code := http.StatusOK
+	switch {
+	case m.Draining:
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case m.BreakerState == BreakerOpen:
+		resp.Status = "overloaded"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.retryAfter()))
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleMetrics serves the daemon counters, content-negotiated on the
@@ -441,6 +476,22 @@ func (s *Server) writePromMetrics(w http.ResponseWriter) {
 	enc.Counter("hvcd_canceled_total", "Jobs that finished in the canceled state.", m.Canceled)
 	enc.Counter("hvcd_rate_limited_total", "Submissions rejected by the per-client rate limiter.", m.RateLimited)
 	enc.Counter("hvcd_queue_full_total", "Submissions rejected by queue backpressure.", m.QueueFull)
+	enc.Counter("hvcd_deadline_exceeded_total", "Jobs failed by the per-job deadline.", m.DeadlineExceeded)
+	enc.Counter("hvcd_breaker_trips_total", "Times the overload breaker opened.", m.BreakerTrips)
+	enc.Counter("hvcd_shed_total", "Fresh submissions shed while the overload breaker was open.", m.Shed)
+
+	// Store families are emitted even when the disk tier is disabled (all
+	// zeros) so dashboards and the metrics lint see a stable family set.
+	var sm store.Metrics
+	if m.Store != nil {
+		sm = *m.Store
+	}
+	enc.Counter("hvcd_store_hits_total", "Durable result-store hits (restart-warm cache serves).", sm.Hits)
+	enc.Counter("hvcd_store_misses_total", "Durable result-store misses.", sm.Misses)
+	enc.Counter("hvcd_store_writes_total", "Records durably written to the result store.", sm.Writes)
+	enc.Counter("hvcd_store_write_errors_total", "Failed durable result-store writes.", sm.WriteErrors)
+	enc.Counter("hvcd_store_evictions_total", "Result-store records evicted by TTL or the size budget.", sm.Evictions)
+	enc.Counter("hvcd_store_corruptions_total", "Corrupt result-store records detected and quarantined.", sm.Corruptions)
 
 	enc.Gauge("hvcd_queue_depth", "Jobs waiting in the submission queue.", float64(m.QueueDepth))
 	enc.Gauge("hvcd_jobs", "Jobs resident in the registry, any state.", float64(m.Jobs))
@@ -452,6 +503,9 @@ func (s *Server) writePromMetrics(w http.ResponseWriter) {
 		draining = 1
 	}
 	enc.Gauge("hvcd_draining", "1 while the server is draining, 0 otherwise.", draining)
+	enc.Gauge("hvcd_breaker_state", "Overload breaker state: 0 closed, 1 half-open, 2 open.", BreakerStateValue(m.BreakerState))
+	enc.Gauge("hvcd_store_records", "Records resident in the durable result store.", float64(sm.Records))
+	enc.Gauge("hvcd_store_bytes", "Bytes resident in the durable result store.", float64(sm.Bytes))
 	enc.Gauge("hvcd_uptime_seconds", "Seconds since the server started.", float64(m.UptimeSec))
 	enc.Gauge("hvcd_build_info", "Build metadata; the value is always 1.", 1,
 		telemetry.Label{Name: "version", Value: buildinfo.Version()})

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridvc/internal/stats"
+)
+
+func testRecord(key string) Record {
+	return Record{
+		Key:    key,
+		Report: json.RawMessage(`{"instructions":1000,"cycles":2000}`),
+		Tables: []string{"table-a"},
+		Intervals: []stats.Interval{
+			{Index: 0, Insns: 500, Cycles: 1000},
+			{Index: 1, Insns: 500, Cycles: 1000},
+		},
+		Lineage: "lin-test-1",
+	}
+}
+
+func mustOpen(t *testing.T, o Options) *Store {
+	t.Helper()
+	if o.Dir == "" {
+		o.Dir = t.TempDir()
+	}
+	s, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPutGetRoundTrip: a stored record comes back byte- and
+// field-identical, and a reopened store still serves it (the warm
+// restart contract).
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	rec := testRecord("k1")
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	check := func(s *Store, what string) {
+		t.Helper()
+		got, ok := s.Get("k1")
+		if !ok {
+			t.Fatalf("%s: stored record missing", what)
+		}
+		if string(got.Report) != string(rec.Report) {
+			t.Errorf("%s: report %s, want %s", what, got.Report, rec.Report)
+		}
+		if len(got.Intervals) != 2 || got.Intervals[1].Insns != 500 {
+			t.Errorf("%s: intervals %+v", what, got.Intervals)
+		}
+		if got.Lineage != rec.Lineage || len(got.Tables) != 1 {
+			t.Errorf("%s: lineage/tables %q/%v", what, got.Lineage, got.Tables)
+		}
+	}
+	check(s, "same store")
+	check(mustOpen(t, Options{Dir: dir}), "reopened store")
+
+	if _, ok := s.Get("absent"); ok {
+		t.Error("absent key reported a hit")
+	}
+	m := s.Metrics()
+	if m.Writes != 1 || m.Hits != 1 || m.Misses != 1 || m.Records != 1 || m.Bytes <= 0 {
+		t.Errorf("metrics %+v", m)
+	}
+}
+
+// TestTornRecordQuarantinedAtEveryOffset is the acceptance torn-write
+// property: truncating a record at EVERY byte offset must yield a
+// quarantined miss — no offset may decode into a served record.
+func TestTornRecordQuarantinedAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	rec := testRecord("torn")
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(s.path("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for n := 0; n < len(whole); n++ {
+		s2 := mustOpen(t, Options{Dir: t.TempDir()})
+		if err := s2.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.CorruptFile("torn", n); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s2.Get("torn"); ok {
+			t.Fatalf("truncation at offset %d/%d was served", n, len(whole))
+		}
+		m := s2.Metrics()
+		if m.Corruptions != 1 {
+			t.Fatalf("offset %d: corruptions = %d, want 1", n, m.Corruptions)
+		}
+		if q := s2.Quarantined(); q != 1 {
+			t.Fatalf("offset %d: quarantined = %d, want 1", n, q)
+		}
+		// The quarantined record must not resurrect on a second lookup
+		// or a reopen.
+		if _, ok := s2.Get("torn"); ok {
+			t.Fatalf("offset %d: quarantined key served on retry", n)
+		}
+		if _, ok := mustOpen(t, Options{Dir: s2.dir}).Get("torn"); ok {
+			t.Fatalf("offset %d: quarantined key served after reopen", n)
+		}
+	}
+}
+
+// TestBitFlipQuarantined: single-bit corruption anywhere in the payload
+// fails the checksum and quarantines.
+func TestBitFlipQuarantined(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if err := s.Put(testRecord("flip")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CorruptFile("flip", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("flip"); ok {
+		t.Fatal("bit-flipped record was served")
+	}
+	if m := s.Metrics(); m.Corruptions != 1 {
+		t.Errorf("corruptions = %d, want 1", m.Corruptions)
+	}
+}
+
+// TestWrongKeyQuarantined: a valid record file renamed onto a different
+// key must not be served under that key.
+func TestWrongKeyQuarantined(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if err := s.Put(testRecord("right")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path("right"), s.path("wrong")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: s.dir})
+	if _, ok := s2.Get("wrong"); ok {
+		t.Fatal("record served under a key it was not stored for")
+	}
+	if m := s2.Metrics(); m.Corruptions != 1 {
+		t.Errorf("corruptions = %d, want 1", m.Corruptions)
+	}
+}
+
+// TestTTLExpiry: records older than the TTL report a miss and are
+// removed, both on the live Get path and at reopen.
+func TestTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, TTL: time.Hour})
+	if err := s.Put(testRecord("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	// Age "old" two hours by rewinding the injected clock's view of its
+	// mtime: set the file and index mtimes into the past.
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(s.path("old"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	e := s.index["old"]
+	e.mtime = past
+	s.index["old"] = e
+	s.mu.Unlock()
+
+	if _, ok := s.Get("old"); ok {
+		t.Error("expired record served")
+	}
+	if _, ok := s.Get("fresh"); !ok {
+		t.Error("unexpired record missing")
+	}
+	if m := s.Metrics(); m.Evictions != 1 || m.Records != 1 {
+		t.Errorf("metrics after live expiry: %+v", m)
+	}
+
+	// Reopen path: an expired record on disk is swept at Open.
+	if err := os.Chtimes(s.path("fresh"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir, TTL: time.Hour})
+	if n := s2.Len(); n != 0 {
+		t.Errorf("reopened store kept %d expired records", n)
+	}
+}
+
+// TestSizeEviction: exceeding MaxBytes evicts oldest-first until the
+// budget holds, and the byte gauge tracks the survivors.
+func TestSizeEviction(t *testing.T) {
+	one, err := encode(testRecord("size-probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(len(one))*2 + 10 // room for two records, not three
+	s := mustOpen(t, Options{MaxBytes: budget})
+	for i, key := range []string{"a", "b", "c"} {
+		rec := testRecord(key)
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so eviction order is unambiguous.
+		mt := time.Now().Add(time.Duration(i-10) * time.Second)
+		s.mu.Lock()
+		e := s.index[key]
+		e.mtime = mt
+		s.index[key] = e
+		s.mu.Unlock()
+	}
+	if err := s.Put(testRecord("d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("oldest record survived size eviction")
+	}
+	if _, ok := s.Get("d"); !ok {
+		t.Error("newest record evicted")
+	}
+	m := s.Metrics()
+	if m.Bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", m.Bytes, budget)
+	}
+	if m.Evictions == 0 {
+		t.Error("no evictions counted")
+	}
+}
+
+// TestPutReplacesAndKeepsBytesConsistent: overwriting a key must not
+// leak its old size into the byte gauge.
+func TestPutReplacesAndKeepsBytesConsistent(t *testing.T) {
+	s := mustOpen(t, Options{})
+	rec := testRecord("k")
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Tables = append(rec.Tables, strings.Repeat("x", 1000))
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := encode(rec)
+	if m := s.Metrics(); m.Records != 1 || m.Bytes != int64(len(enc)) {
+		t.Errorf("after replace: %+v, want 1 record of %d bytes", m, len(enc))
+	}
+}
+
+// TestWriteFaultLeavesOldRecord: an injected write error counts and the
+// previous durable record stays intact and servable.
+func TestWriteFaultLeavesOldRecord(t *testing.T) {
+	fail := false
+	s := mustOpen(t, Options{Hooks: Hooks{
+		BeforeWrite: func(key string) error {
+			if fail {
+				return errors.New("injected disk error")
+			}
+			return nil
+		},
+	}})
+	if err := s.Put(testRecord("k")); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	bad := testRecord("k")
+	bad.Lineage = "lin-should-not-land"
+	if err := s.Put(bad); err == nil {
+		t.Fatal("injected write error not surfaced")
+	}
+	got, ok := s.Get("k")
+	if !ok || got.Lineage != "lin-test-1" {
+		t.Fatalf("old record damaged by failed write: ok=%v rec=%+v", ok, got)
+	}
+	if m := s.Metrics(); m.WriteErrors != 1 || m.Writes != 1 {
+		t.Errorf("write counters: %+v", m)
+	}
+}
+
+// TestTornWriteHookNeverServes: a TransformRecord hook that truncates
+// what hits the disk produces a quarantined miss, not a served record.
+func TestTornWriteHookNeverServes(t *testing.T) {
+	cut := 0
+	s := mustOpen(t, Options{Hooks: Hooks{
+		TransformRecord: func(key string, b []byte) []byte { return b[:cut] },
+	}})
+	full, err := encode(testRecord("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{0, len(full) / 4, len(full) / 2, len(full) - 1} {
+		cut = frac
+		if err := s.Put(testRecord("k")); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("k"); ok {
+			t.Fatalf("torn write of %d/%d bytes was served", frac, len(full))
+		}
+	}
+	if m := s.Metrics(); m.Corruptions != 4 {
+		t.Errorf("corruptions = %d, want 4", m.Corruptions)
+	}
+}
+
+// TestNoTmpFilesLeak: successful and failed writes both leave no *.tmp-*
+// litter in the store dir.
+func TestNoTmpFilesLeak(t *testing.T) {
+	s := mustOpen(t, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testRecord(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.Contains(de.Name(), ".tmp-") {
+			t.Errorf("leaked tmp file %s", de.Name())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, quarantineDir)); err != nil {
+		t.Errorf("quarantine dir missing: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/client"
+)
+
+// TestCrashRestartServesFromDisk is the durable-store acceptance path: a
+// daemon completes a job, is dropped SIGKILL-style (HTTP listener torn
+// down, no Drain, in-memory cache gone), and a fresh daemon over the
+// same store directory serves the resubmission from disk — byte-
+// identical report, provenance=disk, zero new simulations.
+func TestCrashRestartServesFromDisk(t *testing.T) {
+	storeDir := t.TempDir()
+	ctx := context.Background()
+	spec := service.JobSpec{Instructions: 60_000, Interval: 5_000, Seed: 77}
+
+	// First life: run the job for real.
+	srv1, err := service.New(service.Config{
+		Workers: 1, StoreDir: storeDir, SpoolDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Start()
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL, nil)
+	first, err := c1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c1.Watch(ctx, first.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != service.StateDone || len(st1.Report) == 0 {
+		t.Fatalf("first life job: %s (%s)", st1.State, st1.Error)
+	}
+	if m := srv1.MetricsSnapshot(); m.Simulated != 1 || m.Store == nil || m.Store.Writes != 1 {
+		t.Fatalf("first life counters: %+v store=%+v", m, m.Store)
+	}
+
+	// "Crash": the listener dies with no Drain — nothing in memory
+	// survives. (The worker goroutines are reaped at cleanup; the point
+	// is srv2 sees only what the store made durable.)
+	ts1.Close()
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv1.Drain(dctx)
+	})
+
+	// Second life: same store directory, cold memory.
+	srv2, c2 := startServer(t, service.Config{Workers: 1, StoreDir: storeDir})
+	second, err := c2.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatalf("restart resubmission not served as cached: %+v", second)
+	}
+	if second.Key != first.Key {
+		t.Errorf("cache key changed across restart: %s vs %s", second.Key, first.Key)
+	}
+	st2, err := c2.Job(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Provenance != "disk" {
+		t.Errorf("provenance = %q, want disk", st2.Provenance)
+	}
+	if !bytes.Equal(st1.Report, st2.Report) {
+		t.Errorf("disk-served report differs from the original bytes:\n%s\nvs\n%s", st1.Report, st2.Report)
+	}
+	if st2.Intervals != st1.Intervals {
+		t.Errorf("disk-served job replays %d intervals, original recorded %d", st2.Intervals, st1.Intervals)
+	}
+	if st2.ParentLineage != st1.Lineage {
+		t.Errorf("disk-served parent lineage %q does not chain to the producing run %q",
+			st2.ParentLineage, st1.Lineage)
+	}
+
+	// Exactly one simulation across both daemon lives, and the second
+	// life's hit came off the disk tier.
+	m2 := srv2.MetricsSnapshot()
+	if m2.Simulated != 0 {
+		t.Errorf("second life re-simulated %d times, want 0", m2.Simulated)
+	}
+	if m2.Store == nil || m2.Store.Hits != 1 {
+		t.Errorf("second life store counters: %+v, want 1 hit", m2.Store)
+	}
+	if total := srv1.MetricsSnapshot().Simulated + m2.Simulated; total != 1 {
+		t.Errorf("simulations across both lives = %d, want exactly 1", total)
+	}
+}

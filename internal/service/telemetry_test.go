@@ -72,7 +72,7 @@ func promValue(t *testing.T, body []byte, prefix string) float64 {
 // in-process daemon, run work through it, scrape /metrics as a
 // Prometheus client would and validate the exposition is well-formed.
 func TestMetricsLint(t *testing.T) {
-	_, c, _ := startServerURL(t, service.Config{Workers: 2})
+	_, c, _ := startServerURL(t, service.Config{Workers: 2, StoreDir: t.TempDir()})
 	ctx := context.Background()
 	for seed := int64(1); seed <= 2; seed++ {
 		resp, err := c.Submit(ctx, service.JobSpec{Instructions: 30_000, Seed: seed})
@@ -96,10 +96,47 @@ func TestMetricsLint(t *testing.T) {
 		"# TYPE hvcd_simulate_seconds histogram",
 		"# TYPE hvcd_completed_total counter",
 		"# TYPE hvcd_workers_busy gauge",
+		"# TYPE hvcd_deadline_exceeded_total counter",
+		"# TYPE hvcd_breaker_trips_total counter",
+		"# TYPE hvcd_shed_total counter",
+		"# TYPE hvcd_breaker_state gauge",
+		"# TYPE hvcd_store_hits_total counter",
+		"# TYPE hvcd_store_misses_total counter",
+		"# TYPE hvcd_store_writes_total counter",
+		"# TYPE hvcd_store_write_errors_total counter",
+		"# TYPE hvcd_store_evictions_total counter",
+		"# TYPE hvcd_store_corruptions_total counter",
+		"# TYPE hvcd_store_records gauge",
+		"# TYPE hvcd_store_bytes gauge",
 	} {
 		if !bytes.Contains(body, []byte(family)) {
 			t.Errorf("exposition missing %q", family)
 		}
+	}
+	// The store is enabled, so the write path must show through the
+	// exposition: two simulations → two durable records.
+	if v := promValue(t, body, "hvcd_store_writes_total"); v != 2 {
+		t.Errorf("hvcd_store_writes_total = %v, want 2", v)
+	}
+	if v := promValue(t, body, "hvcd_store_records"); v != 2 {
+		t.Errorf("hvcd_store_records = %v, want 2", v)
+	}
+	if v := promValue(t, body, "hvcd_breaker_state"); v != 0 {
+		t.Errorf("hvcd_breaker_state = %v, want 0 (closed)", v)
+	}
+
+	// A store-less daemon still exposes every family, zero-valued, so the
+	// family set is stable for dashboards.
+	_, c2, _ := startServerURL(t, service.Config{Workers: 1})
+	body2, err := c2.MetricsProm(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.Lint(body2); err != nil {
+		t.Fatalf("store-less exposition not well-formed: %v", err)
+	}
+	if v := promValue(t, body2, "hvcd_store_records"); v != 0 {
+		t.Errorf("store-less hvcd_store_records = %v, want 0", v)
 	}
 }
 
