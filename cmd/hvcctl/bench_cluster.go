@@ -1,0 +1,388 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/client"
+	"hybridvc/internal/service/cluster"
+)
+
+// bench-cluster measures the multi-node cluster with in-process daemons
+// on loopback — no external processes, so `make bench-cluster` is
+// self-contained and deterministic in shape.
+//
+// Three phases:
+//
+//   - Scaling: the same disjoint-key workload pushed through the client
+//     balancer at 1, 2 and 4 nodes. Each node's admission rate limiter
+//     stands in for per-machine capacity (on a single host the nodes
+//     share the CPU, so raw simulation throughput cannot scale; what a
+//     cluster adds on real hardware is aggregate admission capacity, and
+//     that is what the balancer must be shown to harvest). Throughput
+//     should scale near-linearly with node count.
+//   - Dedup: a shared-key workload on an unpaced 4-node cluster — every
+//     key submitted to every node, asserting the cluster simulates each
+//     unique key exactly once and serves the rest via the peer API.
+//   - Latency: peer-hit vs local-hit vs fresh-simulation serve time on
+//     the same cluster, sampled per submission.
+type benchClusterResult struct {
+	Instructions uint64             `json:"instructions_per_job"`
+	Pacing       benchPacing        `json:"pacing"`
+	Scaling      []benchScalingRow  `json:"scaling"`
+	Scaling4x    float64            `json:"scaling_4node_over_1node"`
+	Dedup        benchDedupResult   `json:"dedup"`
+	Latency      benchLatencyResult `json:"latency"`
+}
+
+type benchPacing struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	Note       string  `json:"note"`
+}
+
+type benchScalingRow struct {
+	Nodes      int     `json:"nodes"`
+	Jobs       int     `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+type benchDedupResult struct {
+	Nodes       int    `json:"nodes"`
+	UniqueKeys  int    `json:"unique_keys"`
+	Submissions int    `json:"submissions"`
+	Simulated   uint64 `json:"simulated"`
+	PeerServed  int    `json:"peer_served"`
+	PeerHits    uint64 `json:"peer_hits"`
+	Replicated  uint64 `json:"replicated"`
+}
+
+type benchLatencyResult struct {
+	Samples      int     `json:"samples"`
+	PeerHitAvgMs float64 `json:"peer_hit_avg_ms"`
+	PeerHitP95Ms float64 `json:"peer_hit_p95_ms"`
+	LocalAvgMs   float64 `json:"local_hit_avg_ms"`
+	LocalP95Ms   float64 `json:"local_hit_p95_ms"`
+	FreshAvgMs   float64 `json:"fresh_sim_avg_ms"`
+}
+
+// benchNode is one in-process daemon of a bench cluster.
+type benchNode struct {
+	id  string
+	url string
+	srv *service.Server
+	c   *client.Client
+}
+
+// startBenchCluster boots n in-process daemons on loopback. n == 1 runs
+// a plain single-node daemon (no cluster); n >= 2 wires a full static
+// membership. The stop function drains every node.
+func startBenchCluster(n int, tweak func(cfg *service.Config)) ([]*benchNode, func(), error) {
+	listeners := make([]net.Listener, n)
+	members := make([]cluster.Member, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		listeners[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i+1), URL: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*benchNode, 0, n)
+	var httpSrvs []*http.Server
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		for _, bn := range nodes {
+			bn.srv.Drain(ctx)
+		}
+		for _, hs := range httpSrvs {
+			hs.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cfg := service.Config{Workers: 1, NodeID: members[i].ID}
+		if n >= 2 {
+			clus, err := cluster.New(cluster.Config{
+				NodeID: members[i].ID, Members: members, Token: "bench-cluster",
+			})
+			if err != nil {
+				stop()
+				return nil, nil, err
+			}
+			cfg.Cluster = clus
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		srv, err := service.New(cfg)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv.Start()
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(listeners[i])
+		httpSrvs = append(httpSrvs, hs)
+		nodes = append(nodes, &benchNode{
+			id: members[i].ID, url: members[i].URL,
+			srv: srv, c: client.New(members[i].URL, nil),
+		})
+	}
+	return nodes, stop, nil
+}
+
+func benchSpec(insns uint64, seed int64) service.JobSpec {
+	return service.JobSpec{
+		Org: "hybrid-manyseg+sc", Workloads: []string{"gups"},
+		Instructions: insns, Seed: seed,
+	}
+}
+
+// runScalingPhase pushes jobs disjoint-key specs through the balancer
+// against an n-node cluster whose admission is paced per node, and
+// returns the wall-clock seconds to land them all.
+func runScalingPhase(ctx context.Context, n, jobs, conc int, insns uint64, rate float64, burst int) (float64, error) {
+	nodes, stop, err := startBenchCluster(n, func(cfg *service.Config) {
+		cfg.RatePerSec = rate
+		cfg.RateBurst = burst
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer stop()
+	urls := make([]string, len(nodes))
+	for i, bn := range nodes {
+		urls[i] = bn.url
+	}
+	// Round-robin (no Refresh): the phase measures how much aggregate
+	// admission capacity the balancer can harvest, so every node should
+	// see an even share regardless of key ownership.
+	bal, err := client.NewBalancer(urls, nil)
+	if err != nil {
+		return 0, err
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs || ctx.Err() != nil {
+					return
+				}
+				resp, served, err := bal.SubmitWait(ctx, benchSpec(insns, int64(i+1)), client.Backoff{})
+				if err == nil {
+					_, err = served.Watch(ctx, resp.ID, 5*time.Millisecond)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, fmt.Errorf("scaling %d-node phase: %w", n, err)
+	}
+	return time.Since(start).Seconds(), ctx.Err()
+}
+
+func msAvg(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return float64(sum.Microseconds()) / 1000 / float64(len(ds))
+}
+
+func msP95(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return float64(sorted[(len(sorted)*95)/100].Microseconds()) / 1000
+}
+
+// cmdBenchCluster is the `hvcctl bench-cluster` entry point.
+func cmdBenchCluster(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench-cluster", flag.ExitOnError)
+	jobs := fs.Int("n", 60, "disjoint-key jobs per scaling phase")
+	conc := fs.Int("c", 8, "concurrent submitters")
+	insns := fs.Uint64("insns", 2_000, "instructions per job (small: the cluster paths are under test, not the simulator)")
+	rate := fs.Float64("rate", 50, "per-node admission rate standing in for per-machine capacity")
+	dedupKeys := fs.Int("dedup-keys", 24, "unique keys in the shared-key dedup phase")
+	latKeys := fs.Int("lat-keys", 16, "sampled keys in the latency phase")
+	out := fs.String("out", "BENCH_cluster.json", "result file")
+	fs.Parse(args)
+
+	res := benchClusterResult{
+		Instructions: *insns,
+		Pacing: benchPacing{
+			RatePerSec: *rate, Burst: 1,
+			Note: "scaling phase only: per-node admission rate models per-machine capacity; all nodes share one host's CPU, so aggregate admission — not simulation speed — is what multi-node adds here",
+		},
+	}
+
+	// Phase 1: fresh throughput at 1, 2 and 4 nodes under the same
+	// per-node admission pacing.
+	for _, n := range []int{1, 2, 4} {
+		secs, err := runScalingPhase(ctx, n, *jobs, *conc, *insns, *rate, 1)
+		if err != nil {
+			return err
+		}
+		res.Scaling = append(res.Scaling, benchScalingRow{
+			Nodes: n, Jobs: *jobs, Seconds: secs, JobsPerSec: float64(*jobs) / secs,
+		})
+		fmt.Fprintf(stdout, "bench-cluster: %d node(s): %d jobs in %.2fs (%.1f jobs/s)\n",
+			n, *jobs, secs, float64(*jobs)/secs)
+	}
+	res.Scaling4x = res.Scaling[2].JobsPerSec / res.Scaling[0].JobsPerSec
+
+	// Phase 2: cluster-wide dedup on an unpaced 4-node cluster. Every
+	// key is first landed on its owner (owner-routed balancer), then
+	// submitted to every node directly; the cluster must simulate each
+	// key exactly once.
+	nodes, stopDedup, err := startBenchCluster(4, nil)
+	if err != nil {
+		return err
+	}
+	defer stopDedup()
+	urls := make([]string, len(nodes))
+	for i, bn := range nodes {
+		urls[i] = bn.url
+	}
+	bal, err := client.NewBalancer(urls, nil)
+	if err != nil {
+		return err
+	}
+	if err := bal.Refresh(ctx); err != nil {
+		return err
+	}
+	const dedupSeedBase = 10_000 // disjoint from the scaling phase keys
+	submissions, peerServed := 0, 0
+	for k := 0; k < *dedupKeys; k++ {
+		spec := benchSpec(*insns, int64(dedupSeedBase+k))
+		resp, served, err := bal.SubmitWait(ctx, spec, client.Backoff{})
+		if err != nil {
+			return fmt.Errorf("dedup phase: %w", err)
+		}
+		if _, err := served.Watch(ctx, resp.ID, 5*time.Millisecond); err != nil {
+			return err
+		}
+		submissions++
+		for _, bn := range nodes {
+			r2, err := bn.c.Submit(ctx, spec)
+			if err != nil {
+				return fmt.Errorf("dedup phase on %s: %w", bn.id, err)
+			}
+			st, err := bn.c.Watch(ctx, r2.ID, 5*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			submissions++
+			if st.Provenance == "peer" {
+				peerServed++
+			}
+		}
+	}
+	var simulated, peerHits, replicated uint64
+	for _, bn := range nodes {
+		m := bn.srv.MetricsSnapshot()
+		simulated += m.Simulated
+		if m.Cluster != nil {
+			peerHits += m.Cluster.Hits
+			replicated += m.Cluster.Replicated
+		}
+	}
+	res.Dedup = benchDedupResult{
+		Nodes: 4, UniqueKeys: *dedupKeys, Submissions: submissions,
+		Simulated: simulated, PeerServed: peerServed,
+		PeerHits: peerHits, Replicated: replicated,
+	}
+	if simulated != uint64(*dedupKeys) {
+		return fmt.Errorf("dedup phase: cluster simulated %d times for %d unique keys", simulated, *dedupKeys)
+	}
+	fmt.Fprintf(stdout, "bench-cluster: dedup: %d submissions over %d keys → %d simulations, %d peer-served\n",
+		submissions, *dedupKeys, simulated, peerServed)
+
+	// Phase 3: serve-latency comparison on the same cluster, fresh keys.
+	// For each key: fresh simulation on its owner, first submit on a
+	// non-owner (a synchronous peer fetch), then a resubmit on the same
+	// node (a local memory hit).
+	const latSeedBase = 20_000
+	var fresh, peer, local []time.Duration
+	for k := 0; k < *latKeys; k++ {
+		spec := benchSpec(*insns, int64(latSeedBase+k))
+		ownerID, ok := bal.Owner(spec)
+		if !ok {
+			return fmt.Errorf("latency phase: no owner for seed %d", latSeedBase+k)
+		}
+		var owner, other *benchNode
+		for _, bn := range nodes {
+			if bn.id == ownerID {
+				owner = bn
+			} else if other == nil {
+				other = bn
+			}
+		}
+		t0 := time.Now()
+		resp, err := owner.c.Submit(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if _, err := owner.c.Watch(ctx, resp.ID, time.Millisecond); err != nil {
+			return err
+		}
+		fresh = append(fresh, time.Since(t0))
+
+		t1 := time.Now()
+		if _, err := other.c.Submit(ctx, spec); err != nil {
+			return err
+		}
+		peer = append(peer, time.Since(t1))
+
+		t2 := time.Now()
+		if _, err := other.c.Submit(ctx, spec); err != nil {
+			return err
+		}
+		local = append(local, time.Since(t2))
+	}
+	res.Latency = benchLatencyResult{
+		Samples:      *latKeys,
+		PeerHitAvgMs: msAvg(peer), PeerHitP95Ms: msP95(peer),
+		LocalAvgMs: msAvg(local), LocalP95Ms: msP95(local),
+		FreshAvgMs: msAvg(fresh),
+	}
+	fmt.Fprintf(stdout, "bench-cluster: latency: fresh %.2fms, peer hit %.2fms, local hit %.2fms (avg over %d keys)\n",
+		res.Latency.FreshAvgMs, res.Latency.PeerHitAvgMs, res.Latency.LocalAvgMs, *latKeys)
+
+	b, _ := json.MarshalIndent(res, "", "  ")
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bench-cluster: 4-node/1-node fresh throughput = %.2fx → %s\n", res.Scaling4x, *out)
+	return nil
+}

@@ -12,6 +12,7 @@
 //	hvcctl [-addr URL] cancel <job-id>
 //	hvcctl [-addr URL] jobs | orgs | experiments | health | metrics
 //	hvcctl [-addr URL] bench -c 8 -n 64 [-insns 50000] [-out BENCH_service.json]
+//	hvcctl bench-cluster [-n 60] [-out BENCH_cluster.json]
 package main
 
 import (
@@ -39,6 +40,7 @@ var stdout io.Writer = os.Stdout
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8077", "hvcd base URL")
+	servers := flag.String("servers", "", "comma-separated hvcd base URLs; submissions are owner-routed across them with round-robin failover (overrides -addr)")
 	version := buildinfo.Flag()
 	flag.Usage = usage
 	flag.Parse()
@@ -48,15 +50,30 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := client.New(*addr, nil)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var bal *client.Balancer
+	c := client.New(*addr, nil)
+	if *servers != "" {
+		var err error
+		bal, err = client.NewBalancer(strings.Split(*servers, ","), nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvcctl:", err)
+			os.Exit(2)
+		}
+		// Learn the membership for owner routing; a failed refresh just
+		// means round-robin until the nodes come up.
+		bal.Refresh(ctx)
+		// Non-submit commands talk to the first server.
+		c = bal.Clients()[0]
+	}
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "submit":
-		err = cmdSubmit(ctx, c, args)
+		err = cmdSubmit(ctx, c, bal, args)
 	case "status":
 		err = cmdStatus(ctx, c, args)
 	case "watch":
@@ -66,17 +83,21 @@ func main() {
 	case "cancel":
 		err = cmdCancel(ctx, c, args)
 	case "jobs":
-		err = cmdJobs(ctx, c)
+		err = cmdJobs(ctx, c, args)
 	case "orgs":
 		err = cmdOrgs(ctx, c)
 	case "experiments":
 		err = cmdExperiments(ctx, c)
 	case "health":
 		err = cmdHealth(ctx, c)
+	case "cluster":
+		err = cmdCluster(ctx, c)
 	case "metrics":
 		err = cmdMetrics(ctx, c, args)
 	case "bench":
 		err = cmdBench(ctx, c, args)
+	case "bench-cluster":
+		err = cmdBenchCluster(ctx, args)
 	default:
 		fmt.Fprintf(os.Stderr, "hvcctl: unknown command %q\n", cmd)
 		usage()
@@ -91,26 +112,34 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `hvcctl — client for the hvcd simulation daemon
 
-usage: hvcctl [-addr URL] <command> [args]
+usage: hvcctl [-addr URL | -servers URL,URL,...] <command> [args]
 
 commands:
   submit       submit a sim job (-org, -workloads, -insns, ...) or sweep (-sweep <experiment>)
-  status       print one job's status and report
+  status       print one job's status and report (-json for compact machine output)
   watch        poll a job until it finishes, then print the report
   timeline     stream a job's interval time-series (NDJSON; -sse uses Server-Sent Events)
   cancel       cancel a job
-  jobs         list jobs
+  jobs         list jobs (-json for the full status array)
   orgs         list organizations and workloads
   experiments  list registered experiments
   health       daemon liveness (/healthz) and readiness (/readyz)
+  cluster      node identity and cluster membership (/v1/cluster)
   metrics      daemon counters (-prom for Prometheus text format)
   bench        load-generate and record sustained jobs/sec
+  bench-cluster  boot in-process 1/2/4-node clusters and record scaling, dedup and peer latency
+
+With -servers, submissions route to each job key's cluster owner node
+when computable and fail over round-robin on 429/503 or connection
+errors; other commands talk to the first listed server.
 `)
 }
 
 // cmdSubmit submits one job built from flags; -wait watches it to
-// completion and prints the final report.
-func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+// completion and prints the final report. A non-nil balancer routes
+// the submission to the job key's cluster owner (failing over
+// round-robin) and the watch follows the node that took it.
+func cmdSubmit(ctx context.Context, c *client.Client, bal *client.Balancer, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	org := fs.String("org", "", "organization (sim jobs; default hybrid-manyseg+sc)")
 	wls := fs.String("workloads", "", "comma-separated workload names (default gups)")
@@ -144,7 +173,17 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 			}
 		}
 	}
-	resp, err := c.SubmitWait(ctx, spec)
+	var resp service.SubmitResponse
+	var err error
+	if bal != nil {
+		var served *client.Client
+		resp, served, err = bal.SubmitWait(ctx, spec, client.Backoff{})
+		if served != nil {
+			c = served // watch the node that took the job
+		}
+	} else {
+		resp, err = c.SubmitWait(ctx, spec)
+	}
 	if err != nil {
 		return err
 	}
@@ -174,13 +213,19 @@ func printStatus(st service.JobStatus) {
 }
 
 func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
-	id, err := oneArg(args, "status")
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print compact single-line JSON (machine-readable)")
+	fs.Parse(args)
+	id, err := oneArg(fs.Args(), "status")
 	if err != nil {
 		return err
 	}
 	st, err := c.Job(ctx, id)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(stdout).Encode(st)
 	}
 	printStatus(st)
 	return nil
@@ -235,10 +280,18 @@ func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdJobs(ctx context.Context, c *client.Client) error {
+func cmdJobs(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the full JobStatus array as JSON")
+	fs.Parse(args)
 	jobs, err := c.Jobs(ctx)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jobs)
 	}
 	for _, j := range jobs {
 		kind := j.Spec.Kind
@@ -246,8 +299,41 @@ func cmdJobs(ctx context.Context, c *client.Client) error {
 		if kind == service.KindSweep {
 			what = j.Spec.Experiment
 		}
-		fmt.Printf("%-8s %-9s %-6s %-18s cached=%-5v intervals=%d\n",
-			j.ID, j.State, kind, what, j.Cached, j.Intervals)
+		from := ""
+		if j.Provenance != "" {
+			from = " from=" + j.Provenance
+			if j.OriginNode != "" {
+				from += "@" + j.OriginNode
+			}
+		}
+		fmt.Fprintf(stdout, "%-8s %-9s %-6s %-18s cached=%-5v intervals=%d%s\n",
+			j.ID, j.State, kind, what, j.Cached, j.Intervals, from)
+	}
+	return nil
+}
+
+// cmdCluster prints the node's identity and, when clustering is
+// enabled, its membership view with per-peer health.
+func cmdCluster(ctx context.Context, c *client.Client) error {
+	view, err := c.Cluster(ctx)
+	if err != nil {
+		return err
+	}
+	if !view.Enabled {
+		fmt.Fprintf(stdout, "node %s: clustering disabled\n", view.NodeID)
+		return nil
+	}
+	fmt.Fprintf(stdout, "node %s: %d members\n", view.NodeID, len(view.Members))
+	for _, m := range view.Members {
+		mark := " "
+		if m.Self {
+			mark = "*"
+		}
+		health := "healthy"
+		if !m.Healthy {
+			health = "unhealthy"
+		}
+		fmt.Fprintf(stdout, "%s %-12s %-28s %s\n", mark, m.ID, m.URL, health)
 	}
 	return nil
 }

@@ -45,7 +45,7 @@ func TestStatusShowsLineage(t *testing.T) {
 	buf := capture(t)
 	ctx := context.Background()
 
-	if err := cmdSubmit(ctx, c, []string{"-insns", "30000", "-wait"}); err != nil {
+	if err := cmdSubmit(ctx, c, nil, []string{"-insns", "30000", "-wait"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer-fault injection: a PeerProxy stands between a cluster node and
+// the peer it fetches results from, downgrading the peer on command —
+// down (connections die), slow (responses stall past any sane fetch
+// timeout), corrupt (bodies mangled) — so the chaos suite can prove the
+// cluster's graceful-degradation contract: an unreachable or lying
+// owner costs a local simulation, never a failed job and never a
+// corrupt result served.
+
+// PeerMode selects the proxy's current behaviour.
+type PeerMode int32
+
+const (
+	// PeerPass forwards requests verbatim.
+	PeerPass PeerMode = iota
+	// PeerDown kills every connection without answering — the owner
+	// process is gone.
+	PeerDown
+	// PeerSlow stalls every response until the caller gives up — a
+	// wedged or overloaded owner.
+	PeerSlow
+	// PeerCorrupt forwards the request but mangles the response body at
+	// a seeded offset — a lying owner or a broken middlebox.
+	PeerCorrupt
+)
+
+// PeerCounts reports how many requests the proxy saw in each mode.
+type PeerCounts struct {
+	Passed, Dropped, Stalled, Corrupted int
+}
+
+// PeerProxy is the fault-injecting reverse proxy. Construct with
+// NewPeerProxy, point the fetching node's member list at URL(), switch
+// faults with SetMode at any time (safe concurrently), Close when done.
+type PeerProxy struct {
+	target string
+	hc     *http.Client
+	srv    *httptest.Server
+	mode   atomic.Int32
+	stall  atomic.Int64 // nanoseconds; 0 = until the client disconnects
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts PeerCounts
+}
+
+// NewPeerProxy builds a proxy forwarding to the target base URL, with
+// corruption offsets drawn from seed. It starts in PeerPass mode.
+func NewPeerProxy(target string, seed int64) *PeerProxy {
+	p := &PeerProxy{
+		target: target,
+		hc:     &http.Client{},
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	p.srv = httptest.NewServer(http.HandlerFunc(p.handle))
+	return p
+}
+
+// URL is the proxy's base URL — what the fetching node believes is the
+// peer's address.
+func (p *PeerProxy) URL() string { return p.srv.URL }
+
+// SetMode switches the fault behaviour for all subsequent requests.
+func (p *PeerProxy) SetMode(m PeerMode) { p.mode.Store(int32(m)) }
+
+// SetStall bounds how long PeerSlow holds a response (0 = until the
+// caller's own timeout disconnects it).
+func (p *PeerProxy) SetStall(d time.Duration) { p.stall.Store(int64(d)) }
+
+// Counts snapshots the per-mode request counts.
+func (p *PeerProxy) Counts() PeerCounts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// Close shuts the proxy down.
+func (p *PeerProxy) Close() { p.srv.Close() }
+
+func (p *PeerProxy) handle(w http.ResponseWriter, r *http.Request) {
+	mode := PeerMode(p.mode.Load())
+	p.mu.Lock()
+	switch mode {
+	case PeerDown:
+		p.counts.Dropped++
+	case PeerSlow:
+		p.counts.Stalled++
+	case PeerCorrupt:
+		p.counts.Corrupted++
+	default:
+		p.counts.Passed++
+	}
+	p.mu.Unlock()
+
+	switch mode {
+	case PeerDown:
+		// Abort the connection without a response: the caller sees a
+		// transport error, exactly like a dead process.
+		panic(http.ErrAbortHandler)
+	case PeerSlow:
+		stall := time.Duration(p.stall.Load())
+		if stall <= 0 {
+			<-r.Context().Done()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(stall):
+		}
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if mode == PeerCorrupt && len(body) > 2 {
+		body = p.corrupt(body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// corrupt mangles a response body deterministically from the seed:
+// alternating seeded truncation (invalid JSON) and a byte flip inside
+// the JSON prelude — `{"key":"…` — which breaks the syntax or the key
+// match. Both shapes are always detectable by the fetch-side record
+// validation, so the suite's no-corrupt-result assertion is exact.
+func (p *PeerProxy) corrupt(body []byte) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng.Intn(2) == 0 {
+		return body[:1+p.rng.Intn(len(body)-1)]
+	}
+	mangled := append([]byte(nil), body...)
+	n := min(12, len(mangled))
+	mangled[p.rng.Intn(n)] ^= 1 << p.rng.Intn(8)
+	return mangled
+}

@@ -1,0 +1,416 @@
+// Cluster peer-fault scenarios (part of make chaos): a two-node
+// cluster where the fetching node reaches its peer through a
+// fault-injecting proxy — owner down, owner wedged, owner lying — plus
+// a real owner kill mid-workload. The contract under test: a degraded
+// owner costs a local simulation, never a failed job and never a
+// corrupt result served; and once the owner heals, peer serving
+// resumes. Run race-enabled.
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/chaos"
+	"hybridvc/internal/service/client"
+	"hybridvc/internal/service/cluster"
+)
+
+// peerPair is the two-node chaos topology: node A fetches from owner B
+// through the fault proxy; B sees A directly.
+type peerPair struct {
+	a, b   *service.Server
+	ca, cb *client.Client
+	proxy  *chaos.PeerProxy
+	stopB  func()
+}
+
+// startPeerPair boots owner node B behind a PeerProxy and fetching node
+// A whose member list routes B's ID at the proxy. The fetch timeout is
+// tight (150ms) so stall scenarios resolve fast.
+func startPeerPair(t *testing.T, seed int64) *peerPair {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	proxy := chaos.NewPeerProxy(urlB, seed)
+	t.Cleanup(proxy.Close)
+
+	const token = "chaos-peer-token"
+	newNode := func(id string, members []cluster.Member, ln net.Listener) (*service.Server, *client.Client, func()) {
+		clus, err := cluster.New(cluster.Config{
+			NodeID: id, Members: members, Token: token,
+			FetchTimeout:  150 * time.Millisecond,
+			ProbeInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := service.New(service.Config{
+			Workers: 1, SpoolDir: t.TempDir(), NodeID: id, Cluster: clus,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = ln
+		ts.Start()
+		stopped := false
+		stop := func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				t.Errorf("drain %s: %v", id, err)
+			}
+			ts.Close()
+		}
+		t.Cleanup(stop)
+		return srv, client.New(ts.URL, nil), stop
+	}
+
+	// A believes B lives at the proxy; B believes in the direct URLs (it
+	// never fetches in these scenarios, it only serves and probes).
+	a, ca, _ := newNode("a", []cluster.Member{
+		{ID: "a", URL: urlA}, {ID: "b", URL: proxy.URL()},
+	}, lnA)
+	b, cb, stopB := newNode("b", []cluster.Member{
+		{ID: "a", URL: urlA}, {ID: "b", URL: urlB},
+	}, lnB)
+	return &peerPair{a: a, b: b, ca: ca, cb: cb, proxy: proxy, stopB: stopB}
+}
+
+// specOwnedBy scans seeds for the n-th spec whose key lands on the
+// wanted owner under the pair's two-member ring.
+func specOwnedBy(t *testing.T, p *peerPair, owner string, skip int) service.JobSpec {
+	t.Helper()
+	for seed := int64(1); seed < 10_000; seed++ {
+		spec := service.JobSpec{Instructions: 30_000, Seed: seed}
+		norm := spec
+		if err := norm.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if p.a.Cluster().OwnerOf(norm.CacheKey()).ID == owner {
+			if skip == 0 {
+				return spec
+			}
+			skip--
+		}
+	}
+	t.Fatalf("no spec owned by %q in 10k seeds", owner)
+	return service.JobSpec{}
+}
+
+// waitHealthy blocks until node A's probe loop believes peer B has the
+// wanted health, or fails the test.
+func waitHealthy(t *testing.T, p *peerPair, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.a.Cluster().Healthy("b") != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer b never became healthy=%v", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func clusterMetrics(t *testing.T, srv *service.Server) service.ClusterMetrics {
+	t.Helper()
+	m := srv.MetricsSnapshot()
+	if m.Cluster == nil {
+		t.Fatal("no cluster metrics block")
+	}
+	return *m.Cluster
+}
+
+// TestChaosPeerOwnerDown: with the owner unreachable, submissions of
+// owner-keyed specs fall back to local simulation — no failed jobs —
+// the peer is marked unhealthy so later submissions skip the network
+// entirely, and healing the owner restores peer serving.
+func TestChaosPeerOwnerDown(t *testing.T) {
+	p := startPeerPair(t, 1)
+	ctx := context.Background()
+
+	p.proxy.SetMode(chaos.PeerDown)
+	spec1 := specOwnedBy(t, p, "b", 0)
+	resp, err := p.ca.Submit(ctx, spec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || resp.Deduped {
+		t.Fatalf("dead-owner submission should run fresh locally: %+v", resp)
+	}
+	st := watchDone(t, p.ca, resp.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("dead-owner job finished %s (%s)", st.State, st.Error)
+	}
+	if st.Provenance == "peer" {
+		t.Error("dead owner cannot have served this result")
+	}
+	m := clusterMetrics(t, p.a)
+	if m.Errors == 0 {
+		t.Error("failed fetch not counted")
+	}
+	// The failed fetch already marked b unhealthy, so the post-simulate
+	// replication is skipped rather than attempted-and-failed: the dead
+	// owner costs one fetch error total, not a retry storm per job.
+	if m.ReplicateErrors != 0 || m.Replicated != 0 {
+		t.Errorf("replication to a known-dead owner was attempted: %d ok / %d failed",
+			m.Replicated, m.ReplicateErrors)
+	}
+
+	// The failed calls marked b unhealthy; the probe loop (also dying at
+	// the proxy) keeps it down, so the next owner-keyed submission skips
+	// the fetch up front and still completes.
+	waitHealthy(t, p, false)
+	spec2 := specOwnedBy(t, p, "b", 1)
+	resp2, err := p.ca.Submit(ctx, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := watchDone(t, p.ca, resp2.ID); st.State != service.StateDone {
+		t.Fatalf("skip-path job finished %s (%s)", st.State, st.Error)
+	}
+	if m := clusterMetrics(t, p.a); m.Skipped == 0 {
+		t.Error("unhealthy owner was not skipped")
+	}
+
+	// Heal: probes pass again, and a result simulated on B is served to
+	// A over the peer API with full provenance — convergence.
+	p.proxy.SetMode(chaos.PeerPass)
+	waitHealthy(t, p, true)
+	spec3 := specOwnedBy(t, p, "b", 2)
+	bresp, err := p.cb.Submit(ctx, spec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := watchDone(t, p.cb, bresp.ID).Report
+	aresp, err := p.ca.Submit(ctx, spec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast := watchDone(t, p.ca, aresp.ID)
+	if ast.Provenance != "peer" || ast.OriginNode != "b" {
+		t.Errorf("healed serve provenance=%q origin_node=%q, want peer/b", ast.Provenance, ast.OriginNode)
+	}
+	if !bytes.Equal(ast.Report, canonical) {
+		t.Error("healed peer serve delivered different bytes")
+	}
+	if c := p.proxy.Counts(); c.Dropped == 0 {
+		t.Errorf("proxy never dropped anything: %+v", c)
+	}
+}
+
+// TestChaosPeerOwnerSlow: a wedged owner stalls fetches into the 150ms
+// timeout; the job completes by local simulation well inside the
+// watchdog instead of hanging on the peer.
+func TestChaosPeerOwnerSlow(t *testing.T) {
+	p := startPeerPair(t, 2)
+	ctx := context.Background()
+	p.proxy.SetMode(chaos.PeerSlow) // stall until the fetcher gives up
+
+	spec := specOwnedBy(t, p, "b", 0)
+	start := time.Now()
+	resp, err := p.ca.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := watchDone(t, p.ca, resp.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("slow-owner job finished %s (%s)", st.State, st.Error)
+	}
+	if st.Provenance == "peer" {
+		t.Error("stalled owner cannot have served this result")
+	}
+	// Submit blocked for ~one fetch timeout, then the job simulated
+	// locally; seconds of slack for race-instrumented runs, but nowhere
+	// near an unbounded hang.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("slow owner stalled the submission for %v", elapsed)
+	}
+	m := clusterMetrics(t, p.a)
+	if m.Errors == 0 {
+		t.Error("timed-out fetch not counted as an error")
+	}
+	if c := p.proxy.Counts(); c.Stalled == 0 {
+		t.Errorf("proxy never stalled anything: %+v", c)
+	}
+}
+
+// TestChaosPeerOwnerCorrupt: the owner has the record but every byte it
+// sends is mangled — truncated or flipped inside the key prelude. The
+// fetcher must reject the body, simulate locally, and serve bytes
+// identical to the canonical result. No corrupt result is ever served.
+func TestChaosPeerOwnerCorrupt(t *testing.T) {
+	p := startPeerPair(t, 3)
+	ctx := context.Background()
+
+	// Owner B simulates the canonical results first, cleanly.
+	const jobs = 4
+	specs := make([]service.JobSpec, jobs)
+	canonical := make([][]byte, jobs)
+	for i := range specs {
+		specs[i] = specOwnedBy(t, p, "b", i)
+		resp, err := p.cb.Submit(ctx, specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := watchDone(t, p.cb, resp.ID)
+		if st.State != service.StateDone {
+			t.Fatalf("owner job %d finished %s", i, st.State)
+		}
+		canonical[i] = st.Report
+	}
+
+	p.proxy.SetMode(chaos.PeerCorrupt)
+	for i, spec := range specs {
+		// Fetch failures mark b unhealthy; flip it back so every
+		// submission really attempts (and survives) a corrupt fetch.
+		p.a.Cluster().ProbeOnce(ctx) // probes pass — only bodies corrupt
+		if !p.a.Cluster().Healthy("b") {
+			t.Fatal("probe through corrupting proxy should pass (readyz has no record body)")
+		}
+		resp, err := p.ca.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := watchDone(t, p.ca, resp.ID)
+		if st.State != service.StateDone {
+			t.Fatalf("corrupt-owner job %d finished %s (%s)", i, st.State, st.Error)
+		}
+		if st.Provenance == "peer" {
+			t.Errorf("job %d: corrupt body was accepted as a peer serve", i)
+		}
+		if !bytes.Equal(st.Report, canonical[i]) {
+			t.Errorf("job %d: served bytes differ from canonical after corruption", i)
+		}
+	}
+	m := clusterMetrics(t, p.a)
+	if m.Errors < jobs {
+		t.Errorf("only %d fetch errors for %d corrupt bodies", m.Errors, jobs)
+	}
+	if m.Hits != 0 {
+		t.Errorf("%d corrupt bodies counted as hits", m.Hits)
+	}
+	if c := p.proxy.Counts(); c.Corrupted < jobs {
+		t.Errorf("proxy corrupted %d bodies, want >= %d", c.Corrupted, jobs)
+	}
+}
+
+// TestChaosPeerOwnerKilledMidWorkload is the real-kill scenario: no
+// proxy tricks — the owner daemon drains and its listener closes midway
+// through a stream of submissions. Everything before the kill serves
+// over the peer API; everything after simulates locally; zero failures.
+func TestChaosPeerOwnerKilledMidWorkload(t *testing.T) {
+	p := startPeerPair(t, 4)
+	ctx := context.Background()
+
+	// Phase 1: owner alive. Seed two results on B, serve them to A as
+	// peer hits.
+	for i := 0; i < 2; i++ {
+		spec := specOwnedBy(t, p, "b", i)
+		resp, err := p.cb.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		watchDone(t, p.cb, resp.ID)
+		aresp, err := p.ca.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := watchDone(t, p.ca, aresp.ID); st.Provenance != "peer" {
+			t.Fatalf("pre-kill submission %d provenance %q, want peer", i, st.Provenance)
+		}
+	}
+
+	// Kill the owner for real: drain + close. Ongoing probes and fetches
+	// now hit a dead socket.
+	p.stopB()
+
+	// Phase 2: every owner-keyed submission still completes, locally.
+	for i := 2; i < 6; i++ {
+		spec := specOwnedBy(t, p, "b", i)
+		resp, err := p.ca.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("post-kill submit %d: %v", i, err)
+		}
+		st := watchDone(t, p.ca, resp.ID)
+		if st.State != service.StateDone {
+			t.Fatalf("post-kill job %d finished %s (%s)", i, st.State, st.Error)
+		}
+		if st.Provenance == "peer" {
+			t.Errorf("post-kill job %d claims a peer serve from a dead owner", i)
+		}
+	}
+	m := p.a.MetricsSnapshot()
+	if m.Failed != 0 {
+		t.Errorf("%d jobs failed across the owner kill, want 0", m.Failed)
+	}
+	if m.Cluster.Hits != 2 {
+		t.Errorf("peer hits = %d, want exactly the 2 pre-kill serves", m.Cluster.Hits)
+	}
+	// And the fetcher's own health endpoint never flinched.
+	if h, err := p.ca.Health(ctx); err != nil || h.Status != "ok" {
+		t.Errorf("fetcher health after owner kill = %+v err=%v", h, err)
+	}
+}
+
+// TestChaosPeerProxyModes sanity-checks the proxy itself: pass-through
+// preserves bodies, and corruption always yields a body the cluster
+// fetch layer rejects (the determinism the corrupt scenario rests on).
+func TestChaosPeerProxyModes(t *testing.T) {
+	canonical := []byte(`{"key":"abc123","report":{"x":1}}`)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(canonical)
+	}))
+	defer backend.Close()
+	proxy := chaos.NewPeerProxy(backend.URL, 7)
+	defer proxy.Close()
+
+	get := func() ([]byte, error) {
+		resp, err := http.Get(proxy.URL() + "/v1/peer/results/abc123")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+	body, err := get()
+	if err != nil || !bytes.Equal(body, canonical) {
+		t.Fatalf("pass-through mangled the body: %q err=%v", body, err)
+	}
+
+	proxy.SetMode(chaos.PeerCorrupt)
+	for i := 0; i < 20; i++ {
+		body, err := get()
+		if err != nil {
+			t.Fatalf("corrupt mode should still answer: %v", err)
+		}
+		if bytes.Equal(body, canonical) {
+			t.Fatalf("iteration %d: corrupt mode forwarded canonical bytes", i)
+		}
+	}
+	if c := proxy.Counts(); c.Corrupted != 20 || c.Passed != 1 {
+		t.Errorf("counts = %+v, want 20 corrupted / 1 passed", c)
+	}
+}

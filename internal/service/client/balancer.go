@@ -1,0 +1,199 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/cluster"
+)
+
+// Balancer fans submissions across several hvcd servers. After a
+// Refresh has learned the cluster membership, each job is routed to its
+// key's rendezvous owner — the node whose simulation every other node
+// would ask for anyway — so the cluster's one-simulation-per-key
+// convergence needs no replication hop at all on the common path. A
+// server that refuses retryably (429 backpressure, 503
+// draining/overloaded) or is unreachable passes the job to the next
+// server round-robin; the submission only fails when every server
+// refused. Without a Refresh, or against non-clustered daemons, the
+// balancer is plain round-robin with the same failover.
+type Balancer struct {
+	clients []*Client
+
+	mu   sync.Mutex
+	ids  []string           // full membership for rendezvous routing
+	byID map[string]*Client // member ID → configured client
+	rr   int
+}
+
+// NewBalancer builds a balancer over the server base URLs (duplicates
+// and empties rejected). A nil httpClient uses http.DefaultClient.
+func NewBalancer(urls []string, httpClient *http.Client) (*Balancer, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("client: balancer needs at least one server URL")
+	}
+	b := &Balancer{byID: map[string]*Client{}}
+	seen := map[string]bool{}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("client: empty server URL")
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("client: duplicate server URL %q", u)
+		}
+		seen[u] = true
+		b.clients = append(b.clients, New(u, httpClient))
+	}
+	return b, nil
+}
+
+// Clients returns the per-server clients, in configured order.
+func (b *Balancer) Clients() []*Client { return append([]*Client(nil), b.clients...) }
+
+// Refresh learns the cluster membership from the first configured
+// server that answers GET /v1/cluster, and maps member URLs onto the
+// configured client list so subsequent submissions are owner-routed.
+// Against non-clustered daemons it succeeds and leaves the balancer in
+// round-robin mode. It fails only when no server answered at all.
+func (b *Balancer) Refresh(ctx context.Context) error {
+	var lastErr error
+	for _, c := range b.clients {
+		view, err := c.Cluster(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b.mu.Lock()
+		b.ids = b.ids[:0]
+		b.byID = map[string]*Client{}
+		if view.Enabled {
+			for _, m := range view.Members {
+				b.ids = append(b.ids, m.ID)
+				for _, cl := range b.clients {
+					if cl.Base() == strings.TrimRight(m.URL, "/") {
+						b.byID[m.ID] = cl
+					}
+				}
+			}
+		}
+		b.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("client: no server answered /v1/cluster: %w", lastErr)
+}
+
+// Owner reports the member ID owning the normalized spec's key, and
+// whether the balancer both knows the membership and has a client for
+// that member.
+func (b *Balancer) Owner(spec service.JobSpec) (string, bool) {
+	key, err := specKey(spec)
+	if err != nil {
+		return "", false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.ids) == 0 {
+		return "", false
+	}
+	id := cluster.Owner(key, b.ids)
+	_, ok := b.byID[id]
+	return id, ok
+}
+
+// specKey computes the spec's content-addressed cache key exactly as
+// the server would (normalize a copy, then hash). An invalid spec
+// returns an error; the caller then routes round-robin and lets the
+// server produce the authoritative rejection.
+func specKey(spec service.JobSpec) (string, error) {
+	spec.Workloads = append([]string(nil), spec.Workloads...)
+	if err := spec.Normalize(); err != nil {
+		return "", err
+	}
+	return spec.CacheKey(), nil
+}
+
+// order returns the candidate clients for one submission: the key's
+// owner first (when known), then every other server starting at the
+// round-robin cursor.
+func (b *Balancer) order(spec service.JobSpec) []*Client {
+	var owner *Client
+	b.mu.Lock()
+	if len(b.ids) > 0 {
+		if key, err := specKey(spec); err == nil {
+			owner = b.byID[cluster.Owner(key, b.ids)]
+		}
+	}
+	start := b.rr
+	b.rr++
+	b.mu.Unlock()
+
+	out := make([]*Client, 0, len(b.clients))
+	if owner != nil {
+		out = append(out, owner)
+	}
+	for i := 0; i < len(b.clients); i++ {
+		if c := b.clients[(start+i)%len(b.clients)]; c != owner {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Submit routes one spec through the candidate order, failing over on
+// retryable rejections and transport errors. It returns the winning
+// response together with the client that served it, so the caller can
+// Watch the job on the same node. A non-retryable API error (a bad
+// spec, say) returns immediately — every server would say the same.
+func (b *Balancer) Submit(ctx context.Context, spec service.JobSpec) (service.SubmitResponse, *Client, error) {
+	var lastErr error
+	for _, c := range b.order(spec) {
+		resp, err := c.Submit(ctx, spec)
+		if err == nil {
+			return resp, c, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.IsRetryable() {
+			return resp, c, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return service.SubmitResponse{}, nil, fmt.Errorf("client: all %d servers refused submission: %w", len(b.clients), lastErr)
+}
+
+// SubmitWait is Submit with bounded retries for the every-server-
+// refused case, paced by the same capped jittered exponential Backoff
+// the single-node client uses. Non-retryable errors return immediately.
+func (b *Balancer) SubmitWait(ctx context.Context, spec service.JobSpec, bo Backoff) (service.SubmitResponse, *Client, error) {
+	bo = bo.WithDefaults()
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		resp, c, err := b.Submit(ctx, spec)
+		if err == nil {
+			return resp, c, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.IsRetryable() {
+			return resp, c, err
+		}
+		wait := bo.Delay(attempt)
+		if time.Since(start)+wait > bo.MaxElapsed {
+			return resp, c, fmt.Errorf("client: balancer retries exhausted after %v: %w",
+				time.Since(start).Round(time.Millisecond), err)
+		}
+		select {
+		case <-ctx.Done():
+			return resp, c, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}

@@ -10,13 +10,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"hybridvc/internal/service"
+	"hybridvc/internal/service/cluster"
 	"hybridvc/internal/stats"
 )
 
@@ -33,6 +33,9 @@ func New(base string, httpClient *http.Client) *Client {
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
+
+// Base returns the client's base URL (trailing slash stripped).
+func (c *Client) Base() string { return c.base }
 
 // APIError is a non-2xx response, carrying the server's error message
 // and any Retry-After hint.
@@ -110,59 +113,10 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.Subm
 }
 
 // Backoff parameterizes SubmitWait's retry pacing for retryable
-// rejections (429/503) that carry no Retry-After hint: a capped jittered
-// exponential starting at Base and doubling up to Max per retry, bounded
-// overall by MaxElapsed. The zero value is usable; every field defaults.
-type Backoff struct {
-	// Base is the first retry's delay (default 100ms).
-	Base time.Duration
-	// Max caps any single computed delay (default 5s). A server-supplied
-	// Retry-After is honoured as-is, uncapped.
-	Max time.Duration
-	// MaxElapsed bounds the total time spent retrying, measured from the
-	// first attempt: once a computed wait would cross it, the last error
-	// is returned instead of sleeping (default 2m).
-	MaxElapsed time.Duration
-	// Jitter is the fraction of each delay randomized away, spreading
-	// synchronized retry herds: a delay d becomes uniform in
-	// [d*(1-Jitter), d]. 0 defaults to 0.5; negative disables jitter.
-	Jitter float64
-}
-
-func (b Backoff) withDefaults() Backoff {
-	if b.Base <= 0 {
-		b.Base = 100 * time.Millisecond
-	}
-	if b.Max <= 0 {
-		b.Max = 5 * time.Second
-	}
-	if b.MaxElapsed <= 0 {
-		b.MaxElapsed = 2 * time.Minute
-	}
-	if b.Jitter == 0 {
-		b.Jitter = 0.5
-	}
-	return b
-}
-
-// delay computes the (jittered) delay before retry number attempt
-// (0-based).
-func (b Backoff) delay(attempt int) time.Duration {
-	d := b.Base
-	for i := 0; i < attempt && d < b.Max; i++ {
-		d *= 2
-	}
-	if d > b.Max {
-		d = b.Max
-	}
-	if b.Jitter > 0 {
-		d -= time.Duration(b.Jitter * rand.Float64() * float64(d))
-	}
-	if d < time.Millisecond {
-		d = time.Millisecond
-	}
-	return d
-}
+// rejections (429/503) that carry no Retry-After hint. It is the same
+// capped jittered exponential the cluster layer uses for peer
+// replication, re-exported here so existing callers keep compiling.
+type Backoff = cluster.Backoff
 
 // SubmitWait submits with bounded retries on retryable rejections
 // (429 backpressure/rate limiting, 503 draining/overloaded): it honours
@@ -176,7 +130,7 @@ func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (service.
 
 // SubmitWaitBackoff is SubmitWait with explicit retry pacing.
 func (c *Client) SubmitWaitBackoff(ctx context.Context, spec service.JobSpec, b Backoff) (service.SubmitResponse, error) {
-	b = b.withDefaults()
+	b = b.WithDefaults()
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		out, err := c.Submit(ctx, spec)
@@ -186,7 +140,7 @@ func (c *Client) SubmitWaitBackoff(ctx context.Context, spec service.JobSpec, b 
 		}
 		wait := apiErr.RetryAfter
 		if wait <= 0 {
-			wait = b.delay(attempt)
+			wait = b.Delay(attempt)
 		}
 		if time.Since(start)+wait > b.MaxElapsed {
 			return out, fmt.Errorf("hvcd: submit retries exhausted after %v: %w",
@@ -285,6 +239,14 @@ func (c *Client) Timeline(ctx context.Context, id string, follow bool, fn func(s
 func (c *Client) Orgs(ctx context.Context) (service.CatalogResponse, error) {
 	var out service.CatalogResponse
 	err := c.do(ctx, http.MethodGet, "/v1/orgs", nil, &out)
+	return out, err
+}
+
+// Cluster fetches the daemon's cluster view: its node identity and,
+// when clustering is enabled, the membership with per-peer health.
+func (c *Client) Cluster(ctx context.Context) (service.ClusterResponse, error) {
+	var out service.ClusterResponse
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out)
 	return out, err
 }
 

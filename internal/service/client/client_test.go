@@ -146,18 +146,18 @@ func TestSubmitWaitNonRetryable(t *testing.T) {
 // TestBackoffDelayBounds pins the schedule: doubling from Base, capped
 // at Max, never below the jitter floor.
 func TestBackoffDelayBounds(t *testing.T) {
-	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5}.withDefaults()
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5}.WithDefaults()
 	for attempt, wantCeil := range []time.Duration{10, 20, 40, 80, 80, 80} {
 		ceil := wantCeil * time.Millisecond
 		for i := 0; i < 50; i++ {
-			d := b.delay(attempt)
+			d := b.Delay(attempt)
 			if d > ceil || d < ceil/2 {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, ceil/2, ceil)
 			}
 		}
 	}
-	nj := Backoff{Base: time.Millisecond, Max: time.Second, Jitter: -1}.withDefaults()
-	if d := nj.delay(3); d != 8*time.Millisecond {
+	nj := Backoff{Base: time.Millisecond, Max: time.Second, Jitter: -1}.WithDefaults()
+	if d := nj.Delay(3); d != 8*time.Millisecond {
 		t.Errorf("unjittered attempt 3 delay = %v, want 8ms", d)
 	}
 }

@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hybridvc/internal/service/store"
+)
+
+// Peer API surface shared between the daemon's handlers and the fetch
+// side. The key in the path is the canonical SHA-256 cache key.
+const (
+	// PeerResultsPath is the route prefix of the peer result API:
+	// GET fetches the owner's record, PUT replicates one onto it.
+	PeerResultsPath = "/v1/peer/results/"
+	// TokenHeader carries the shared cluster secret on every peer call.
+	TokenHeader = "X-Cluster-Token"
+	// NodeHeader identifies the calling node on peer requests (logs and
+	// loop diagnostics only — authentication is the token).
+	NodeHeader = "X-Cluster-Node"
+)
+
+// Member is one node of the static membership list.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// ParsePeers parses a "-peers" flag value: comma-separated id=url pairs,
+// e.g. "n1=http://10.0.0.1:8077,n2=http://10.0.0.2:8077". IDs must be
+// unique and URLs absolute http(s).
+func ParsePeers(s string) ([]Member, error) {
+	var out []Member
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(part, "=")
+		id, rawURL = strings.TrimSpace(id), strings.TrimSpace(rawURL)
+		if !ok || id == "" || rawURL == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: bad url %q", id, rawURL)
+		}
+		seen[id] = true
+		out = append(out, Member{ID: id, URL: strings.TrimRight(rawURL, "/")})
+	}
+	return out, nil
+}
+
+// Config parameterizes a Cluster. Members is the full static membership
+// list; the self node is identified by NodeID and appended (with the
+// Advertise URL) when absent from the list.
+type Config struct {
+	// NodeID is this node's identity in the member list.
+	NodeID string
+	// Advertise is this node's base URL as peers reach it. Optional when
+	// NodeID already appears in Members.
+	Advertise string
+	// Members is the full membership list, self included or not.
+	Members []Member
+	// Token is the shared secret every peer call must present.
+	Token string
+
+	// FetchTimeout bounds each peer fetch/replicate call (default 2s) —
+	// tight by design: a slow owner must cost less than simulating.
+	FetchTimeout time.Duration
+	// ProbeInterval paces the per-peer /readyz health probes
+	// (default 1s).
+	ProbeInterval time.Duration
+	// ReplicateBackoff paces replication retries (zero value defaults;
+	// MaxElapsed is clamped to a few fetch timeouts so a worker never
+	// blocks long on a dead owner).
+	ReplicateBackoff Backoff
+	// ReplicateRetries bounds replication attempts past the first
+	// (default 1 retry; negative disables retries).
+	ReplicateRetries int
+
+	// HTTPClient issues the peer calls (default: a dedicated client; the
+	// per-call timeout comes from FetchTimeout contexts).
+	HTTPClient *http.Client
+	// Logger receives peer-call warnings (nil = silent).
+	Logger *slog.Logger
+}
+
+// Metrics is the cluster-side counter snapshot, exposed through the
+// daemon's hvcd_peer_* / hvcd_cluster_* metric families.
+type Metrics struct {
+	Nodes        int    `json:"nodes"`
+	PeersHealthy int    `json:"peers_healthy"`
+	Fetches      uint64 `json:"fetches"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Errors       uint64 `json:"errors"`
+	// Skipped counts fetches not attempted because the owner was marked
+	// unhealthy — the local-simulate fallback taken up front.
+	Skipped         uint64 `json:"skipped"`
+	Replicated      uint64 `json:"replicated"`
+	ReplicateErrors uint64 `json:"replicate_errors"`
+}
+
+// Cluster is one node's view of the membership: ownership routing,
+// peer-record fetch/replicate, and per-peer health. Construct with New,
+// start the health probes with Start, stop with Stop.
+type Cluster struct {
+	self    Member
+	members []Member // sorted by ID, self included
+	ids     []string
+	token   string
+	timeout time.Duration
+	hc      *http.Client
+	logger  *slog.Logger
+
+	repBackoff Backoff
+	repRetries int
+
+	health *tracker
+
+	fetches, hits, misses, errors, skipped atomic.Uint64
+	replicated, replicateErrors            atomic.Uint64
+}
+
+// New validates the membership and builds the node's cluster view.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: node id required")
+	}
+	members := append([]Member(nil), cfg.Members...)
+	var self *Member
+	for i := range members {
+		if members[i].ID == cfg.NodeID {
+			self = &members[i]
+		}
+	}
+	if self == nil {
+		if cfg.Advertise == "" {
+			return nil, fmt.Errorf("cluster: node %q not in peer list and no advertise URL", cfg.NodeID)
+		}
+		members = append(members, Member{ID: cfg.NodeID, URL: strings.TrimRight(cfg.Advertise, "/")})
+		self = &members[len(members)-1]
+	} else if cfg.Advertise != "" {
+		self.URL = strings.TrimRight(cfg.Advertise, "/")
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("cluster: need at least one peer besides %q", cfg.NodeID)
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a].ID < members[b].ID })
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.ReplicateRetries == 0 {
+		cfg.ReplicateRetries = 1
+	} else if cfg.ReplicateRetries < 0 {
+		cfg.ReplicateRetries = 0
+	}
+	rb := cfg.ReplicateBackoff.WithDefaults()
+	// A worker replicates synchronously before finishing the job, so the
+	// whole retry budget must stay small next to a simulation.
+	if rb.MaxElapsed > 3*cfg.FetchTimeout {
+		rb.MaxElapsed = 3 * cfg.FetchTimeout
+	}
+	var selfCopy Member
+	for _, m := range members {
+		if m.ID == cfg.NodeID {
+			selfCopy = m
+		}
+	}
+	c := &Cluster{
+		self:       selfCopy,
+		members:    members,
+		ids:        ids,
+		token:      cfg.Token,
+		timeout:    cfg.FetchTimeout,
+		hc:         cfg.HTTPClient,
+		logger:     cfg.Logger,
+		repBackoff: rb,
+		repRetries: cfg.ReplicateRetries,
+	}
+	c.health = newTracker(c, cfg.ProbeInterval)
+	return c, nil
+}
+
+// Self returns this node's member entry.
+func (c *Cluster) Self() Member { return c.self }
+
+// NodeID returns this node's identity.
+func (c *Cluster) NodeID() string { return c.self.ID }
+
+// Members returns the full membership, sorted by ID.
+func (c *Cluster) Members() []Member { return append([]Member(nil), c.members...) }
+
+// OwnerOf returns the member owning key under rendezvous hashing.
+func (c *Cluster) OwnerOf(key string) Member {
+	id := Owner(key, c.ids)
+	for _, m := range c.members {
+		if m.ID == id {
+			return m
+		}
+	}
+	return c.self // unreachable: Owner picks from c.ids
+}
+
+// Healthy reports whether the peer is currently believed reachable.
+// Unknown peers (never probed, never failed) are optimistically healthy.
+func (c *Cluster) Healthy(id string) bool { return c.health.healthy(id) }
+
+// MarkFailed records a failed peer call, marking the peer unhealthy
+// until a probe succeeds again.
+func (c *Cluster) MarkFailed(id string) { c.health.markFailed(id) }
+
+// Start launches the background /readyz probe loop. Stop ends it.
+func (c *Cluster) Start() { c.health.start() }
+
+// Stop ends the probe loop. Idempotent.
+func (c *Cluster) Stop() { c.health.stop() }
+
+// ProbeOnce probes every peer synchronously (tests and the balancer's
+// first routing decision want health without waiting an interval).
+func (c *Cluster) ProbeOnce(ctx context.Context) { c.health.probeAll(ctx) }
+
+// AuthOK checks a presented token in constant time.
+func (c *Cluster) AuthOK(presented string) bool {
+	return subtle.ConstantTimeCompare([]byte(c.token), []byte(presented)) == 1
+}
+
+// Fetch asks member m for its record of key over the peer API. The
+// three outcomes are distinct: (rec, true, nil) is a hit, (_, false,
+// nil) a clean miss (the owner simply has nothing), and an error is a
+// degraded peer — transport failure, timeout, auth mismatch or a
+// corrupt body — which also marks the peer unhealthy.
+func (c *Cluster) Fetch(ctx context.Context, m Member, key string) (store.Record, bool, error) {
+	c.fetches.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+PeerResultsPath+key, nil)
+	if err != nil {
+		return store.Record{}, false, c.fetchErr(m, fmt.Errorf("cluster: fetch %s: %w", key, err))
+	}
+	c.setPeerHeaders(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return store.Record{}, false, c.fetchErr(m, fmt.Errorf("cluster: fetch %s from %s: %w", key, m.ID, err))
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		c.misses.Add(1)
+		return store.Record{}, false, nil
+	case resp.StatusCode != http.StatusOK:
+		io.Copy(io.Discard, resp.Body)
+		return store.Record{}, false, c.fetchErr(m, fmt.Errorf("cluster: fetch %s from %s: HTTP %d", key, m.ID, resp.StatusCode))
+	}
+	var rec store.Record
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&rec); err != nil {
+		return store.Record{}, false, c.fetchErr(m, fmt.Errorf("cluster: fetch %s from %s: corrupt peer body: %w", key, m.ID, err))
+	}
+	// A record claiming a different key is corrupt, never served — the
+	// same discipline the disk store applies to renamed record files.
+	if rec.Key != key {
+		return store.Record{}, false, c.fetchErr(m, fmt.Errorf("cluster: fetch %s from %s: body carries key %.16s…", key, m.ID, rec.Key))
+	}
+	if len(rec.Report) == 0 && len(rec.Tables) == 0 {
+		return store.Record{}, false, c.fetchErr(m, fmt.Errorf("cluster: fetch %s from %s: empty record body", key, m.ID))
+	}
+	c.hits.Add(1)
+	return rec, true, nil
+}
+
+// maxPeerBody bounds a peer response/replication body (reports plus
+// timelines are small; anything larger is a corrupt or hostile peer).
+const maxPeerBody = 32 << 20
+
+func (c *Cluster) fetchErr(m Member, err error) error {
+	c.errors.Add(1)
+	c.MarkFailed(m.ID)
+	c.logger.Warn("peer fetch failed", "peer", m.ID, "error", err.Error())
+	return err
+}
+
+// SkipUnhealthy counts a fetch not attempted because the owner was
+// already marked unhealthy.
+func (c *Cluster) SkipUnhealthy() { c.skipped.Add(1) }
+
+// Replicate best-effort pushes a freshly produced record onto member m
+// (the key's owner), pacing retryable failures with the cluster Backoff.
+// Failure is logged and counted, never fatal: it costs cluster-wide
+// dedup convergence for this key, not the result.
+func (c *Cluster) Replicate(ctx context.Context, m Member, rec store.Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: replicate %s: %w", rec.Key, err)
+	}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		err = c.replicateOnce(ctx, m, rec.Key, body)
+		if err == nil {
+			c.replicated.Add(1)
+			return nil
+		}
+		if attempt >= c.repRetries {
+			break
+		}
+		wait := c.repBackoff.Delay(attempt)
+		if time.Since(start)+wait > c.repBackoff.MaxElapsed {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			attempt = c.repRetries // stop retrying
+		case <-time.After(wait):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.replicateErrors.Add(1)
+	c.MarkFailed(m.ID)
+	c.logger.Warn("peer replicate failed", "peer", m.ID, "key", rec.Key, "error", err.Error())
+	return err
+}
+
+func (c *Cluster) replicateOnce(ctx context.Context, m Member, key string, body []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, m.URL+PeerResultsPath+key, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setPeerHeaders(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Cluster) setPeerHeaders(req *http.Request) {
+	req.Header.Set(TokenHeader, c.token)
+	req.Header.Set(NodeHeader, c.self.ID)
+}
+
+// Metrics snapshots the cluster counters and health gauges.
+func (c *Cluster) Metrics() Metrics {
+	return Metrics{
+		Nodes:           len(c.members),
+		PeersHealthy:    c.health.healthyCount(),
+		Fetches:         c.fetches.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Errors:          c.errors.Load(),
+		Skipped:         c.skipped.Load(),
+		Replicated:      c.replicated.Load(),
+		ReplicateErrors: c.replicateErrors.Load(),
+	}
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridvc/internal/service/store"
+)
+
+func TestParsePeers(t *testing.T) {
+	ms, err := ParsePeers("n1=http://a:1, n2=http://b:2/ ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0] != (Member{"n1", "http://a:1"}) || ms[1] != (Member{"n2", "http://b:2"}) {
+		t.Fatalf("ParsePeers = %+v", ms)
+	}
+	for _, bad := range []string{"n1", "n1=", "=http://a:1", "n1=ftp://a", "n1=http://a,n1=http://b", "n1=notaurl"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Members: []Member{{"a", "http://a"}}}); err == nil {
+		t.Error("New without node id accepted")
+	}
+	if _, err := New(Config{NodeID: "x", Members: []Member{{"a", "http://a"}}}); err == nil {
+		t.Error("New with self absent and no advertise accepted")
+	}
+	if _, err := New(Config{NodeID: "a", Members: []Member{{"a", "http://a"}}}); err == nil {
+		t.Error("single-member cluster accepted")
+	}
+	c, err := New(Config{NodeID: "x", Advertise: "http://x/", Members: []Member{{"a", "http://a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self() != (Member{"x", "http://x"}) {
+		t.Errorf("Self = %+v", c.Self())
+	}
+	if len(c.Members()) != 2 {
+		t.Errorf("Members = %+v", c.Members())
+	}
+}
+
+// peerStub is a minimal owner: serves one record under the peer GET
+// route and records PUTs, enforcing the token.
+func peerStub(t *testing.T, token string, rec *store.Record, puts *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(TokenHeader) != token {
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		if !strings.HasPrefix(r.URL.Path, PeerResultsPath) {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		key := strings.TrimPrefix(r.URL.Path, PeerResultsPath)
+		switch r.Method {
+		case http.MethodGet:
+			if rec == nil || rec.Key != key {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			json.NewEncoder(w).Encode(rec)
+		case http.MethodPut:
+			if puts != nil {
+				puts.Add(1)
+			}
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+}
+
+func twoNode(t *testing.T, ownerURL, token string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		NodeID: "self", Advertise: "http://self.invalid",
+		Members:      []Member{{"owner", ownerURL}},
+		Token:        token,
+		FetchTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFetchHitMissAndAuth(t *testing.T) {
+	rec := store.Record{Key: "k1", Report: json.RawMessage(`{"ok":true}`), Lineage: "ln-1", Node: "owner"}
+	ts := peerStub(t, "sekrit", &rec, nil)
+	defer ts.Close()
+
+	c := twoNode(t, ts.URL, "sekrit")
+	owner := Member{ID: "owner", URL: ts.URL}
+
+	got, ok, err := c.Fetch(context.Background(), owner, "k1")
+	if err != nil || !ok {
+		t.Fatalf("Fetch hit: ok=%v err=%v", ok, err)
+	}
+	if got.Lineage != "ln-1" || got.Node != "owner" || string(got.Report) != `{"ok":true}` {
+		t.Errorf("Fetch record = %+v", got)
+	}
+	if _, ok, err := c.Fetch(context.Background(), owner, "k2"); err != nil || ok {
+		t.Fatalf("Fetch miss: ok=%v err=%v (want clean miss)", ok, err)
+	}
+
+	// Wrong token: the owner answers 401, which is a degraded peer, not
+	// a miss — and it marks the peer unhealthy.
+	bad := twoNode(t, ts.URL, "wrong")
+	if _, ok, err := bad.Fetch(context.Background(), owner, "k1"); err == nil || ok {
+		t.Fatalf("Fetch with bad token: ok=%v err=%v (want error)", ok, err)
+	}
+	if bad.Healthy("owner") {
+		t.Error("failed fetch should mark peer unhealthy")
+	}
+	m := bad.Metrics()
+	if m.Errors != 1 || m.Fetches != 1 {
+		t.Errorf("metrics after auth failure = %+v", m)
+	}
+}
+
+func TestFetchRejectsCorruptBodies(t *testing.T) {
+	cases := map[string]http.HandlerFunc{
+		"truncated json": func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"key":"k1","report":{"tr`))
+		},
+		"wrong key": func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(store.Record{Key: "other", Report: json.RawMessage(`{}`)})
+		},
+		"empty record": func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(store.Record{Key: "k1"})
+		},
+	}
+	for name, h := range cases {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(h)
+			defer ts.Close()
+			c := twoNode(t, ts.URL, "")
+			_, ok, err := c.Fetch(context.Background(), Member{ID: "owner", URL: ts.URL}, "k1")
+			if err == nil || ok {
+				t.Fatalf("corrupt body served: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+func TestFetchTimeoutMarksUnhealthy(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	defer slow.Close()
+	c, err := New(Config{
+		NodeID: "self", Advertise: "http://self.invalid",
+		Members:      []Member{{"owner", slow.URL}},
+		FetchTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, ok, ferr := c.Fetch(context.Background(), Member{ID: "owner", URL: slow.URL}, "k1")
+	if ferr == nil || ok {
+		t.Fatalf("slow owner: ok=%v err=%v (want timeout error)", ok, ferr)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("fetch took %v, want ~FetchTimeout", elapsed)
+	}
+	if c.Healthy("owner") {
+		t.Error("timed-out owner still healthy")
+	}
+}
+
+func TestReplicateRetriesThenCounts(t *testing.T) {
+	var puts atomic.Int64
+	var fails atomic.Int64
+	fails.Store(1) // first attempt fails, retry succeeds
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		puts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	c, err := New(Config{
+		NodeID: "self", Advertise: "http://self.invalid",
+		Members:          []Member{{"owner", ts.URL}},
+		FetchTimeout:     time.Second,
+		ReplicateBackoff: Backoff{Base: 5 * time.Millisecond, Jitter: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.Record{Key: "k1", Report: json.RawMessage(`{}`)}
+	if err := c.Replicate(context.Background(), Member{ID: "owner", URL: ts.URL}, rec); err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	if puts.Load() != 1 {
+		t.Errorf("puts = %d, want 1", puts.Load())
+	}
+	if m := c.Metrics(); m.Replicated != 1 || m.ReplicateErrors != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestHealthProbeRestoresPeer(t *testing.T) {
+	ready := atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, err := New(Config{
+		NodeID: "self", Advertise: "http://self.invalid",
+		Members:      []Member{{"owner", ts.URL}},
+		FetchTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy("owner") {
+		t.Fatal("peer should start optimistically healthy")
+	}
+	c.ProbeOnce(context.Background()) // readyz 503 → unhealthy
+	if c.Healthy("owner") {
+		t.Fatal("peer healthy after failed probe")
+	}
+	if m := c.Metrics(); m.PeersHealthy != 0 || m.Nodes != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	ready.Store(true)
+	c.ProbeOnce(context.Background())
+	if !c.Healthy("owner") {
+		t.Fatal("peer not restored by successful probe")
+	}
+	if m := c.Metrics(); m.PeersHealthy != 1 {
+		t.Errorf("PeersHealthy = %d, want 1", m.PeersHealthy)
+	}
+}
+
+func TestStartStopProbeLoop(t *testing.T) {
+	probes := atomic.Int64{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+	}))
+	defer ts.Close()
+	c, err := New(Config{
+		NodeID: "self", Advertise: "http://self.invalid",
+		Members:       []Member{{"owner", ts.URL}},
+		ProbeInterval: 10 * time.Millisecond,
+		FetchTimeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for probes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if probes.Load() < 2 {
+		t.Fatal("probe loop never fired")
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	n := probes.Load()
+	time.Sleep(50 * time.Millisecond)
+	if probes.Load() > n+1 { // one in-flight probe may land post-Stop
+		t.Errorf("probes kept firing after Stop: %d → %d", n, probes.Load())
+	}
+}
+
+func TestOwnerOfUsesMembership(t *testing.T) {
+	c, err := New(Config{
+		NodeID: "n1", Advertise: "http://n1.invalid",
+		Members: []Member{{"n2", "http://n2.invalid"}, {"n3", "http://n3.invalid"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"n1", "n2", "n3"}
+	for _, key := range testKeys(32) {
+		want := Owner(key, ids)
+		if got := c.OwnerOf(key); got.ID != want {
+			t.Fatalf("OwnerOf(%.12s…) = %q, want %q", key, got.ID, want)
+		}
+	}
+}

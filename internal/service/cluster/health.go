@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// tracker is the per-peer health view: a background loop probes every
+// peer's /readyz on a fixed interval, and failed peer calls mark a peer
+// unhealthy immediately (only a successful probe restores it, so one
+// timed-out fetch suppresses further fetches to that owner until the
+// next probe proves it back). Peers with no evidence yet are
+// optimistically healthy — the first fetch is the probe.
+type tracker struct {
+	cluster  *Cluster
+	interval time.Duration
+
+	mu    sync.Mutex
+	down  map[string]bool // peer ID → known-unhealthy
+	stopC chan struct{}
+}
+
+func newTracker(c *Cluster, interval time.Duration) *tracker {
+	return &tracker{cluster: c, interval: interval, down: make(map[string]bool)}
+}
+
+func (t *tracker) healthy(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.down[id]
+}
+
+func (t *tracker) markFailed(id string) {
+	if id == t.cluster.self.ID {
+		return
+	}
+	t.mu.Lock()
+	t.down[id] = true
+	t.mu.Unlock()
+}
+
+func (t *tracker) markHealthy(id string) {
+	t.mu.Lock()
+	delete(t.down, id)
+	t.mu.Unlock()
+}
+
+// healthyCount counts reachable peers (self excluded).
+func (t *tracker) healthyCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, m := range t.cluster.members {
+		if m.ID != t.cluster.self.ID && !t.down[m.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *tracker) start() {
+	t.mu.Lock()
+	if t.stopC != nil {
+		t.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	t.stopC = stop
+	t.mu.Unlock()
+	go t.loop(stop)
+}
+
+func (t *tracker) stop() {
+	t.mu.Lock()
+	if t.stopC != nil {
+		close(t.stopC)
+		t.stopC = nil
+	}
+	t.mu.Unlock()
+}
+
+func (t *tracker) loop(stop <-chan struct{}) {
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { t.probeAll(ctx); close(done) }()
+			select {
+			case <-done:
+			case <-stop:
+				cancel()
+				<-done
+				return
+			}
+			cancel()
+		}
+	}
+}
+
+// probeAll probes every peer once, concurrently, and updates health from
+// the verdicts. A 200 /readyz is healthy; anything else — 503 from a
+// draining or overloaded peer included — is not a node to fetch from.
+func (t *tracker) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range t.cluster.members {
+		if m.ID == t.cluster.self.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(m Member) {
+			defer wg.Done()
+			if t.probe(ctx, m) {
+				t.markHealthy(m.ID)
+			} else {
+				t.markFailed(m.ID)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (t *tracker) probe(ctx context.Context, m Member) bool {
+	ctx, cancel := context.WithTimeout(ctx, t.cluster.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := t.cluster.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,80 @@
+// Package cluster turns N independent hvcd daemons into one logical
+// content-addressed cache. Membership is static (each node is started
+// with the full member list); every job's canonical SHA-256 spec key is
+// routed to exactly one owner node by rendezvous (highest-random-weight)
+// hashing, so all nodes agree on ownership without coordination and a
+// membership change of one node remaps only ~1/N of the key space.
+//
+// A node answering a local cache miss first asks the key's owner over
+// the authenticated peer API (GET /v1/peer/results/{key}) before
+// simulating, and best-effort replicates fresh results to the owner, so
+// the cluster converges to one simulation per key. Peer calls carry
+// tight timeouts and a per-peer health tracker (probing /readyz)
+// degrades gracefully: an unreachable owner means simulate locally,
+// never fail the job.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Score is the rendezvous weight of (nodeID, key): a 64-bit FNV-1a over
+// the key and the node ID with a separator (so neither value can alias
+// into the other), pushed through an avalanche finalizer. The finalizer
+// matters: raw FNV leaves the high bits of near-identical inputs
+// correlated — node IDs like "n1".."n4" differ only in their last byte,
+// and without full mixing the same node would win most keys. Higher
+// score wins.
+func Score(nodeID, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(nodeID))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 fmix64 finalizer: full avalanche, so a one-bit
+// input difference decorrelates every output bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the node ID owning key under rendezvous hashing: the
+// member with the highest Score, ties broken toward the lexically
+// smaller ID so every node computes the same owner regardless of the
+// order its peer list was written in. An empty member set returns "".
+func Owner(key string, nodeIDs []string) string {
+	var (
+		best      string
+		bestScore uint64
+		have      bool
+	)
+	for _, id := range nodeIDs {
+		s := Score(id, key)
+		if !have || s > bestScore || (s == bestScore && id < best) {
+			best, bestScore, have = id, s, true
+		}
+	}
+	return best
+}
+
+// Ranked returns the member IDs ordered by descending rendezvous score
+// for key (the owner first, then the nodes that would take over if the
+// owner left, in order). Useful for diagnostics and tests.
+func Ranked(key string, nodeIDs []string) []string {
+	out := append([]string(nil), nodeIDs...)
+	sort.Slice(out, func(a, b int) bool {
+		sa, sb := Score(out[a], key), Score(out[b], key)
+		if sa != sb {
+			return sa > sb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

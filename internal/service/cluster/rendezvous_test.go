@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testKeys returns n synthetic cache keys shaped like the real ones
+// (hex SHA-256 strings), deterministically.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+// TestOwnerDeterministic pins that a fixed member set yields one owner
+// per key, stable across calls.
+func TestOwnerDeterministic(t *testing.T) {
+	ids := []string{"n1", "n2", "n3", "n4"}
+	for _, key := range testKeys(64) {
+		a := Owner(key, ids)
+		if a == "" {
+			t.Fatalf("Owner(%q) empty", key)
+		}
+		for i := 0; i < 3; i++ {
+			if b := Owner(key, ids); b != a {
+				t.Fatalf("Owner(%q) flapped: %q then %q", key, a, b)
+			}
+		}
+	}
+	if Owner("anything", nil) != "" {
+		t.Error("Owner with no members should be empty")
+	}
+}
+
+// TestOwnerAgreesAcrossPeerListOrder is the cross-node agreement
+// property: every node computes the same owner regardless of the order
+// its peer list was written in.
+func TestOwnerAgreesAcrossPeerListOrder(t *testing.T) {
+	ids := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	rng := rand.New(rand.NewSource(7))
+	for _, key := range testKeys(128) {
+		want := Owner(key, ids)
+		for trial := 0; trial < 5; trial++ {
+			shuffled := append([]string(nil), ids...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			if got := Owner(key, shuffled); got != want {
+				t.Fatalf("key %.12s…: owner %q with order %v, want %q", key, got, shuffled, want)
+			}
+		}
+	}
+}
+
+// TestOwnerDistribution sanity-checks the rendezvous spread: with 4
+// nodes and many keys, no node should own a wildly disproportionate
+// share (each expects ~25%).
+func TestOwnerDistribution(t *testing.T) {
+	ids := []string{"n1", "n2", "n3", "n4"}
+	counts := map[string]int{}
+	keys := testKeys(4000)
+	for _, key := range keys {
+		counts[Owner(key, ids)]++
+	}
+	for _, id := range ids {
+		share := float64(counts[id]) / float64(len(keys))
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("node %s owns %.1f%% of keys, want ~25%% (counts %v)", id, 100*share, counts)
+		}
+	}
+}
+
+// TestMinimalRemappingOnMembershipChange is the property that makes
+// rendezvous hashing worth its name: adding a node only moves keys TO
+// the new node (nothing shuffles between survivors), removing a node
+// only moves that node's keys, and the moved share is ~1/N.
+func TestMinimalRemappingOnMembershipChange(t *testing.T) {
+	base := []string{"n1", "n2", "n3", "n4"}
+	keys := testKeys(2000)
+
+	// Join: n5 arrives. Keys either keep their owner or move to n5.
+	joined := append(append([]string(nil), base...), "n5")
+	moved := 0
+	for _, key := range keys {
+		before, after := Owner(key, base), Owner(key, joined)
+		if before != after {
+			if after != "n5" {
+				t.Fatalf("key %.12s… moved %q → %q on join of n5 (must only move to the joiner)", key, before, after)
+			}
+			moved++
+		}
+	}
+	// Expected share 1/5 = 20%; allow generous slack for hash variance.
+	if share := float64(moved) / float64(len(keys)); share < 0.10 || share > 0.30 {
+		t.Errorf("join remapped %.1f%% of keys, want ~20%%", 100*share)
+	}
+
+	// Leave: n2 departs. Only n2's keys move; everyone else's stay put.
+	left := []string{"n1", "n3", "n4"}
+	moved = 0
+	for _, key := range keys {
+		before, after := Owner(key, base), Owner(key, left)
+		if before == "n2" {
+			if after == "n2" {
+				t.Fatalf("key %.12s… still owned by departed n2", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %.12s… moved %q → %q on leave of n2 (must not move)", key, before, after)
+		}
+	}
+	if share := float64(moved) / float64(len(keys)); share < 0.15 || share > 0.35 {
+		t.Errorf("leave remapped %.1f%% of keys, want ~25%%", 100*share)
+	}
+}
+
+// TestMinimalRemappingProperty re-checks the join property with
+// randomized member sets and keys via testing/quick.
+func TestMinimalRemappingProperty(t *testing.T) {
+	prop := func(seed int64, nNodes uint8, key string) bool {
+		n := 2 + int(nNodes%6) // 2..7 nodes
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("node-%d-%d", seed, i)
+		}
+		joiner := fmt.Sprintf("node-%d-join", seed)
+		before := Owner(key, ids)
+		after := Owner(key, append(append([]string(nil), ids...), joiner))
+		return after == before || after == joiner
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRankedOrder pins Ranked's contract: first element is the owner,
+// and the ordering is a permutation of the members.
+func TestRankedOrder(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	for _, key := range testKeys(32) {
+		r := Ranked(key, ids)
+		if len(r) != len(ids) {
+			t.Fatalf("Ranked returned %d ids, want %d", len(r), len(ids))
+		}
+		if r[0] != Owner(key, ids) {
+			t.Fatalf("Ranked[0] = %q, Owner = %q", r[0], Owner(key, ids))
+		}
+		seen := map[string]bool{}
+		for _, id := range r {
+			seen[id] = true
+		}
+		if len(seen) != len(ids) {
+			t.Fatalf("Ranked not a permutation: %v", r)
+		}
+	}
+}

@@ -1,0 +1,528 @@
+// End-to-end tests of the multi-node cluster: several in-process hvcd
+// daemons sharing a static membership, exercised over live HTTP — owner
+// agreement, peer fetch with provenance, replication convergence,
+// cluster-wide dedup, the clustered metrics exposition, and the
+// owner-routing client balancer.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridvc/internal/service"
+	"hybridvc/internal/service/client"
+	"hybridvc/internal/service/cluster"
+	"hybridvc/internal/telemetry"
+)
+
+// clusterNode is one daemon of an in-process test cluster.
+type clusterNode struct {
+	id  string
+	srv *service.Server
+	c   *client.Client
+	url string
+}
+
+const testClusterToken = "e2e-shared-secret"
+
+// startCluster boots n clustered daemons. The listeners are bound
+// before any daemon starts, so every member URL is known up front —
+// the same ordering a deployment's static -peers flag relies on.
+func startCluster(t *testing.T, n int, mut func(i int, cfg *service.Config)) []*clusterNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	members := make([]cluster.Member, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i+1), URL: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		clus, err := cluster.New(cluster.Config{
+			NodeID:        members[i].ID,
+			Members:       members,
+			Token:         testClusterToken,
+			FetchTimeout:  2 * time.Second,
+			ProbeInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := service.Config{
+			Workers: 1, SpoolDir: t.TempDir(),
+			NodeID: members[i].ID, Cluster: clus,
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		srv, err := service.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		nodes[i] = &clusterNode{
+			id: members[i].ID, srv: srv,
+			c: client.New(members[i].URL, nil), url: members[i].URL,
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				t.Errorf("drain %s: %v", members[i].ID, err)
+			}
+			ts.Close()
+		})
+	}
+	return nodes
+}
+
+// specCacheKey computes a spec's content-addressed key exactly as the
+// servers will, without mutating the caller's copy.
+func specCacheKey(t *testing.T, spec service.JobSpec) string {
+	t.Helper()
+	spec.Workloads = append([]string(nil), spec.Workloads...)
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return spec.CacheKey()
+}
+
+// nodeByID finds a cluster node by member ID.
+func nodeByID(t *testing.T, nodes []*clusterNode, id string) *clusterNode {
+	t.Helper()
+	for _, n := range nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", id)
+	return nil
+}
+
+// clusterMet unwraps a node's cluster metrics block (fatal when absent —
+// a clustered node must always expose it).
+func clusterMet(t *testing.T, n *clusterNode) service.ClusterMetrics {
+	t.Helper()
+	m := n.srv.MetricsSnapshot()
+	if m.Cluster == nil {
+		t.Fatalf("node %s: no cluster metrics block", n.id)
+	}
+	return *m.Cluster
+}
+
+// TestClusterOwnerAgreement: every node derives the same owner for any
+// key — the property the whole fetch protocol stands on — and the
+// /v1/cluster view exposes the same sorted membership everywhere.
+func TestClusterOwnerAgreement(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	ctx := context.Background()
+	for seed := int64(1); seed <= 20; seed++ {
+		key := specCacheKey(t, service.JobSpec{Instructions: 30_000, Seed: seed})
+		owner := nodes[0].srv.Cluster().OwnerOf(key)
+		for _, n := range nodes[1:] {
+			if got := n.srv.Cluster().OwnerOf(key); got.ID != owner.ID {
+				t.Fatalf("seed %d: node %s owner %s, node %s owner %s",
+					seed, nodes[0].id, owner.ID, n.id, got.ID)
+			}
+		}
+	}
+	for _, n := range nodes {
+		view, err := n.c.Cluster(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Enabled || view.NodeID != n.id || len(view.Members) != 3 {
+			t.Fatalf("node %s cluster view: %+v", n.id, view)
+		}
+		for i, m := range view.Members {
+			if m.ID != fmt.Sprintf("n%d", i+1) {
+				t.Errorf("node %s member[%d] = %s, want sorted membership", n.id, i, m.ID)
+			}
+			if m.Self != (m.ID == n.id) {
+				t.Errorf("node %s: member %s self flag = %v", n.id, m.ID, m.Self)
+			}
+		}
+	}
+}
+
+// TestClusterPeerFetchProvenance: a result simulated on its owner is
+// served to a submission on any other node via a peer fetch, with
+// byte-identical report, provenance "peer" and the owner's node ID —
+// and the fetched record is promoted locally so the next submission on
+// that node never crosses the network again.
+func TestClusterPeerFetchProvenance(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	ctx := context.Background()
+	spec := service.JobSpec{Instructions: 30_000, Seed: 7}
+	key := specCacheKey(t, spec)
+	owner := nodeByID(t, nodes, nodes[0].srv.Cluster().OwnerOf(key).ID)
+	var other *clusterNode
+	for _, n := range nodes {
+		if n.id != owner.id {
+			other = n
+			break
+		}
+	}
+
+	resp, err := owner.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || resp.Deduped {
+		t.Fatalf("first submission on owner not fresh: %+v", resp)
+	}
+	canonical := waitState(t, owner.c, resp.ID, service.StateDone).Report
+
+	peerResp, err := other.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !peerResp.Cached {
+		t.Fatalf("peer-served submission not reported cached: %+v", peerResp)
+	}
+	st := waitState(t, other.c, peerResp.ID, service.StateDone)
+	if st.Provenance != "peer" || st.OriginNode != owner.id {
+		t.Fatalf("peer-served job provenance=%q origin_node=%q, want peer/%s",
+			st.Provenance, st.OriginNode, owner.id)
+	}
+	if !bytes.Equal(st.Report, canonical) {
+		t.Error("peer-served report differs from the owner's bytes")
+	}
+
+	// The fetched record was installed locally: a resubmission on the
+	// same node serves without another peer call.
+	before := clusterMet(t, other)
+	again, err := other.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitState(t, other.c, again.ID, service.StateDone)
+	if st2.OriginNode != owner.id || !bytes.Equal(st2.Report, canonical) {
+		t.Errorf("local re-serve lost origin: origin_node=%q", st2.OriginNode)
+	}
+	after := clusterMet(t, other)
+	if after.Fetches != before.Fetches {
+		t.Errorf("resubmission crossed the network: fetches %d → %d", before.Fetches, after.Fetches)
+	}
+	if before.Fetches != 1 || before.Hits != 1 {
+		t.Errorf("non-owner fetch counters = %d/%d, want exactly one hit", before.Fetches, before.Hits)
+	}
+	if om := clusterMet(t, owner); om.Served != 1 {
+		t.Errorf("owner served %d peer GETs, want 1", om.Served)
+	}
+
+	// Cluster-wide accounting: exactly one simulation for the key.
+	sims := uint64(0)
+	for _, n := range nodes {
+		sims += n.srv.MetricsSnapshot().Simulated
+	}
+	if sims != 1 {
+		t.Errorf("cluster simulated %d times for one key, want 1", sims)
+	}
+}
+
+// TestClusterReplicationConverges: a simulation on a NON-owner node
+// replicates onto the owner before the job finishes, so the owner (and,
+// through it, every other node) serves the result without simulating.
+func TestClusterReplicationConverges(t *testing.T) {
+	nodes := startCluster(t, 3, func(i int, cfg *service.Config) {
+		cfg.StoreDir = t.TempDir() // replication should land durably too
+	})
+	ctx := context.Background()
+
+	// Find a spec owned by some node other than n1, and submit it to n1.
+	var spec service.JobSpec
+	var owner *clusterNode
+	for seed := int64(1); ; seed++ {
+		spec = service.JobSpec{Instructions: 30_000, Seed: seed}
+		id := nodes[0].srv.Cluster().OwnerOf(specCacheKey(t, spec)).ID
+		if id != nodes[0].id {
+			owner = nodeByID(t, nodes, id)
+			break
+		}
+	}
+	resp, err := nodes[0].c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := waitState(t, nodes[0].c, resp.ID, service.StateDone).Report
+
+	// The job finished, so the synchronous best-effort replication has
+	// already run: the owner holds the record.
+	if m := clusterMet(t, nodes[0]); m.Replicated != 1 || m.ReplicateErrors != 0 {
+		t.Fatalf("submitter replicated/errors = %d/%d, want 1/0", m.Replicated, m.ReplicateErrors)
+	}
+	if m := clusterMet(t, owner); m.Accepted != 1 {
+		t.Fatalf("owner accepted %d replications, want 1", m.Accepted)
+	}
+
+	// The owner serves locally — no peer fetch, origin preserved.
+	oresp, err := owner.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oresp.Cached {
+		t.Fatalf("owner submission after replication not cached: %+v", oresp)
+	}
+	st := waitState(t, owner.c, oresp.ID, service.StateDone)
+	if st.Provenance != "memory" || st.OriginNode != nodes[0].id {
+		t.Errorf("owner serve provenance=%q origin_node=%q, want memory/%s",
+			st.Provenance, st.OriginNode, nodes[0].id)
+	}
+	if !bytes.Equal(st.Report, canonical) {
+		t.Error("owner-served report differs from the simulating node's bytes")
+	}
+	if m := clusterMet(t, owner); m.Fetches != 0 {
+		t.Errorf("owner fetched %d times serving its own key", m.Fetches)
+	}
+	if owner.srv.Store().Len() != 1 {
+		t.Errorf("replicated record not durable on owner: store holds %d", owner.srv.Store().Len())
+	}
+
+	// A third node fetches it off the owner — the full triangle.
+	third := nodes[0]
+	for _, n := range nodes {
+		if n.id != owner.id && n.id != nodes[0].id {
+			third = n
+			break
+		}
+	}
+	tresp, err := third.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst := waitState(t, third.c, tresp.ID, service.StateDone)
+	if tst.Provenance != "peer" || !bytes.Equal(tst.Report, canonical) {
+		t.Errorf("third-node serve provenance=%q, want peer with canonical bytes", tst.Provenance)
+	}
+}
+
+// TestClusterWideDedup: every key submitted to every node, and the
+// cluster as a whole simulates each key exactly once.
+func TestClusterWideDedup(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	ctx := context.Background()
+	const keys = 6
+	peerServes := 0
+	for seed := int64(1); seed <= keys; seed++ {
+		spec := service.JobSpec{Instructions: 30_000, Seed: seed}
+		// Rotate which node sees the spec first, so both the fetch path
+		// (first submit off-owner) and the replicate path get exercised.
+		for j := 0; j < len(nodes); j++ {
+			n := nodes[(int(seed)+j)%len(nodes)]
+			resp, err := n.c.Submit(ctx, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := waitState(t, n.c, resp.ID, service.StateDone)
+			if st.State != service.StateDone {
+				t.Fatalf("seed %d on %s finished %s (%s)", seed, n.id, st.State, st.Error)
+			}
+			if j > 0 && !resp.Cached && !resp.Deduped {
+				t.Errorf("seed %d resubmission on %s ran fresh", seed, n.id)
+			}
+			if st.Provenance == "peer" {
+				peerServes++
+			}
+		}
+	}
+	var sims uint64
+	for _, n := range nodes {
+		sims += n.srv.MetricsSnapshot().Simulated
+	}
+	if sims != keys {
+		t.Errorf("cluster simulated %d jobs for %d unique keys", sims, keys)
+	}
+	if peerServes == 0 {
+		t.Error("no submission was served over the peer API")
+	}
+}
+
+// TestClusterMetricsExposition: a clustered node's /metrics is
+// well-formed, carries the peer/cluster families with live values, and
+// stamps the node identity label.
+func TestClusterMetricsExposition(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	ctx := context.Background()
+	spec := service.JobSpec{Instructions: 30_000, Seed: 3}
+	resp, err := nodes[0].c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, nodes[0].c, resp.ID, service.StateDone)
+
+	body, err := nodes[0].c.MetricsProm(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.Lint(body); err != nil {
+		t.Fatalf("clustered exposition not well-formed: %v\n%s", err, body)
+	}
+	if v := promValue(t, body, "hvcd_cluster_nodes"); v != 3 {
+		t.Errorf("hvcd_cluster_nodes = %v, want 3", v)
+	}
+	if v := promValue(t, body, `hvcd_node_info{node_id="n1"}`); v != 1 {
+		t.Errorf("hvcd_node_info = %v, want 1", v)
+	}
+	// Health probes run on a 50ms cadence against live peers, so both
+	// should be healthy by the time a job has completed.
+	if v := promValue(t, body, "hvcd_cluster_peers_healthy"); v != 2 {
+		t.Errorf("hvcd_cluster_peers_healthy = %v, want 2", v)
+	}
+
+	snap := nodes[0].srv.MetricsSnapshot()
+	if snap.NodeID != "n1" {
+		t.Errorf("snapshot node_id = %q", snap.NodeID)
+	}
+}
+
+// TestClusterPeerAuth: peer routes demand the shared token and do not
+// exist at all on a single-node daemon.
+func TestClusterPeerAuth(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	ctx := context.Background()
+	spec := service.JobSpec{Instructions: 30_000, Seed: 1}
+	key := specCacheKey(t, spec)
+	resp, err := nodes[0].c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, nodes[0].c, resp.ID, service.StateDone)
+
+	get := func(url, token string) int {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set(cluster.TokenHeader, token)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		io.Copy(io.Discard, r.Body)
+		return r.StatusCode
+	}
+	peerURL := nodes[0].url + cluster.PeerResultsPath + key
+	if code := get(peerURL, ""); code != http.StatusUnauthorized {
+		t.Errorf("tokenless peer GET = %d, want 401", code)
+	}
+	if code := get(peerURL, "wrong-token"); code != http.StatusUnauthorized {
+		t.Errorf("bad-token peer GET = %d, want 401", code)
+	}
+	if code := get(peerURL, testClusterToken); code != http.StatusOK {
+		t.Errorf("authenticated peer GET = %d, want 200", code)
+	}
+
+	// Single-node daemon: the route answers 404 — clustering disabled.
+	_, _, soloURL := startServerURL(t, service.Config{Workers: 1})
+	if code := get(soloURL+cluster.PeerResultsPath+key, testClusterToken); code != http.StatusNotFound {
+		t.Errorf("single-node peer GET = %d, want 404", code)
+	}
+}
+
+// TestBalancerOwnerRouting: the client balancer learns the membership
+// from /v1/cluster and routes every submission straight to its key's
+// owner, so no peer fetch ever happens — convergence by routing alone.
+func TestBalancerOwnerRouting(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	ctx := context.Background()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.url
+	}
+	bal, err := client.NewBalancer(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bal.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 6
+	for seed := int64(1); seed <= keys; seed++ {
+		spec := service.JobSpec{Instructions: 30_000, Seed: seed}
+		ownerID, ok := bal.Owner(spec)
+		if !ok {
+			t.Fatalf("seed %d: balancer has no owner after Refresh", seed)
+		}
+		resp, served, err := bal.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := nodeByID(t, nodes, ownerID)
+		if served.Base() != strings.TrimRight(owner.url, "/") {
+			t.Errorf("seed %d routed to %s, owner is %s (%s)", seed, served.Base(), ownerID, owner.url)
+		}
+		if resp.Cached || resp.Deduped {
+			t.Errorf("seed %d: owner-routed first submission not fresh: %+v", seed, resp)
+		}
+		st := waitState(t, served, resp.ID, service.StateDone)
+		if st.State != service.StateDone {
+			t.Fatalf("seed %d finished %s (%s)", seed, st.State, st.Error)
+		}
+	}
+	// Owner routing means zero cross-node traffic: no fetches anywhere,
+	// and the per-node simulation counts sum to the key count.
+	var sims uint64
+	for _, n := range nodes {
+		m := clusterMet(t, n)
+		if m.Fetches != 0 || m.Replicated != 0 {
+			t.Errorf("node %s: fetches=%d replicated=%d with owner routing, want 0/0",
+				n.id, m.Fetches, m.Replicated)
+		}
+		sims += n.srv.MetricsSnapshot().Simulated
+	}
+	if sims != keys {
+		t.Errorf("cluster simulated %d for %d owner-routed keys", sims, keys)
+	}
+}
+
+// TestBalancerFailover: a dead server in the list costs nothing — the
+// balancer fails over round-robin and the submission lands.
+func TestBalancerFailover(t *testing.T) {
+	_, _, liveURL := startServerURL(t, service.Config{Workers: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close() // nothing will ever answer here
+
+	bal, err := client.NewBalancer([]string{deadURL, liveURL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := bal.Refresh(ctx); err != nil {
+		t.Fatal(err) // the live server answers /v1/cluster
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		resp, served, err := bal.Submit(ctx, service.JobSpec{Instructions: 30_000, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if served.Base() != strings.TrimRight(liveURL, "/") {
+			t.Errorf("seed %d served by %s, want the live server", seed, served.Base())
+		}
+		waitState(t, served, resp.ID, service.StateDone)
+	}
+}

@@ -53,7 +53,8 @@ type Job struct {
 	reportJSON    []byte
 	tables        []string
 	cached        bool
-	provenance    string // cache-served jobs: "memory" or "disk"
+	provenance    string // cache-served jobs: "memory", "disk" or "peer"
+	originNode    string // cluster node that originally simulated the result
 	checkpoint    string
 	parentLineage string
 	created       time.Time
@@ -191,8 +192,10 @@ func (j *Job) finish(state string, report []byte, tables []string, errMsg string
 // result (it was never queued). parentLineage is the lineage ID of the
 // job that originally produced the cached result, so the lineage chain
 // request → cached result → producing run stays traceable; provenance
-// records which tier served it ("memory" or "disk").
-func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval, parentLineage, provenance string) {
+// records which tier served it ("memory", "disk" or "peer") and
+// originNode which cluster node originally simulated it (empty outside
+// a cluster).
+func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Interval, parentLineage, provenance, originNode string) {
 	tl := &stats.Timeline{}
 	for _, iv := range intervals {
 		tl.Append(iv)
@@ -200,6 +203,7 @@ func (j *Job) finishCached(report []byte, tables []string, intervals []stats.Int
 	j.mu.Lock()
 	j.cached = true
 	j.provenance = provenance
+	j.originNode = originNode
 	j.tl = tl
 	j.parentLineage = parentLineage
 	j.created = time.Now()
@@ -236,9 +240,12 @@ type JobStatus struct {
 	State  string `json:"state"`
 	Cached bool   `json:"cached"`
 	// Provenance records which cache tier served a born-done job:
-	// "memory" (LRU) or "disk" (durable store). Empty for fresh runs and
-	// coalesced submissions.
+	// "memory" (LRU), "disk" (durable store) or "peer" (fetched from the
+	// key's owner node). Empty for fresh runs and coalesced submissions.
 	Provenance string `json:"provenance,omitempty"`
+	// OriginNode is the cluster node that originally simulated the
+	// result. Empty for locally simulated results outside a cluster.
+	OriginNode string `json:"origin_node,omitempty"`
 	Error      string `json:"error,omitempty"`
 
 	// Lineage is the lineage ID of the submission that created the job;
@@ -273,8 +280,8 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.ID, Key: j.Key, State: j.state, Cached: j.cached,
-		Provenance: j.provenance,
-		Error:      j.errMsg, Spec: j.Spec, Checkpoint: j.checkpoint,
+		Provenance: j.provenance, OriginNode: j.originNode,
+		Error: j.errMsg, Spec: j.Spec, Checkpoint: j.checkpoint,
 		Lineage: j.Lineage, ParentLineage: j.parentLineage,
 		Created: j.created,
 	}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"hybridvc/internal/service/cluster"
+	"hybridvc/internal/service/store"
+)
+
+// Peer result API: GET /v1/peer/results/{key} serves this node's copy
+// of a content-addressed result to a cluster peer; PUT replicates a
+// freshly simulated record onto this node (the key's owner). Both are
+// authenticated with the shared cluster token and answer 404 when
+// clustering is disabled — the routes effectively do not exist on a
+// single-node daemon.
+
+// peerAuth gates a peer-API request: clustering must be on and the
+// shared token must match (constant-time). It writes the error response
+// and returns false on rejection.
+func (s *Server) peerAuth(w http.ResponseWriter, r *http.Request) bool {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "clustering disabled")
+		return false
+	}
+	if !s.cluster.AuthOK(r.Header.Get(cluster.TokenHeader)) {
+		writeError(w, http.StatusUnauthorized, "bad cluster token")
+		return false
+	}
+	return true
+}
+
+// handlePeerGet answers a peer's fetch: the memory LRU first (via the
+// non-counting peek — a peer lookup is not a client cache query), then
+// the disk store. A record simulated on this node before clustering
+// existed carries no node stamp; it is attributed to this node on the
+// way out so provenance survives the hop.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	if !s.peerAuth(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	from := r.Header.Get(cluster.NodeHeader)
+	if e, ok := s.cache.peek(key); ok {
+		rec := store.Record{
+			Key: key, Report: e.reportJSON, Tables: e.tables,
+			Intervals: e.intervals, Lineage: e.lineage, Node: e.originNode,
+		}
+		if rec.Node == "" {
+			rec.Node = s.cfg.NodeID
+		}
+		s.met.peerServed.Add(1)
+		s.logger.Debug("peer fetch served", "key", key, "peer", from, "tier", "memory")
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	if s.store != nil {
+		if rec, ok := s.store.Get(key); ok {
+			if rec.Node == "" {
+				rec.Node = s.cfg.NodeID
+			}
+			s.met.peerServed.Add(1)
+			s.logger.Debug("peer fetch served", "key", key, "peer", from, "tier", "disk")
+			writeJSON(w, http.StatusOK, rec)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no result for key %q", key)
+}
+
+// handlePeerPut accepts a replicated record from the node that just
+// simulated it: this node owns the record's key, so installing it here
+// is what lets every other node's owner-first fetch find it. The record
+// is validated like a peer fetch body (key match, non-empty) and then
+// promoted into the memory LRU and the disk store.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	if !s.peerAuth(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	var rec store.Record
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(&rec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad record body: %v", err)
+		return
+	}
+	if rec.Key != key {
+		writeError(w, http.StatusBadRequest, "record key %.16s… does not match path key", rec.Key)
+		return
+	}
+	if len(rec.Report) == 0 && len(rec.Tables) == 0 {
+		writeError(w, http.StatusBadRequest, "empty record")
+		return
+	}
+	s.mu.Lock()
+	s.cache.put(key, &cacheEntry{
+		reportJSON: rec.Report, tables: rec.Tables,
+		intervals: rec.Intervals, lineage: rec.Lineage,
+		originNode: rec.Node,
+	})
+	s.mu.Unlock()
+	if s.store != nil {
+		if perr := s.store.Put(rec); perr != nil {
+			s.logger.Warn("replicated record store write failed",
+				"key", key, "error", perr.Error())
+		}
+	}
+	s.met.peerAccepted.Add(1)
+	s.logger.Debug("peer record accepted",
+		"key", key, "peer", r.Header.Get(cluster.NodeHeader), "node", rec.Node)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ClusterMemberInfo describes one member in GET /v1/cluster.
+type ClusterMemberInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Self marks the answering node's own entry.
+	Self bool `json:"self,omitempty"`
+	// Healthy is the answering node's current belief about the peer
+	// (the self entry is always healthy).
+	Healthy bool `json:"healthy"`
+}
+
+// ClusterResponse answers GET /v1/cluster: the node's identity and,
+// when clustering is enabled, its view of the membership. Clients use
+// it to discover the member list for owner-routed submission.
+type ClusterResponse struct {
+	Enabled bool                `json:"enabled"`
+	NodeID  string              `json:"node_id"`
+	Members []ClusterMemberInfo `json:"members,omitempty"`
+}
+
+// handleCluster reports the node's cluster view. Unlike the peer API it
+// is unauthenticated and answers on single-node daemons too (with
+// Enabled=false): it carries topology, not results, and load balancers
+// need it before they know any token.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	resp := ClusterResponse{NodeID: s.cfg.NodeID}
+	if c := s.cluster; c != nil {
+		resp.Enabled = true
+		for _, m := range c.Members() {
+			resp.Members = append(resp.Members, ClusterMemberInfo{
+				ID: m.ID, URL: m.URL,
+				Self:    m.ID == c.NodeID(),
+				Healthy: m.ID == c.NodeID() || c.Healthy(m.ID),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

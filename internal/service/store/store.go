@@ -53,6 +53,11 @@ type Record struct {
 	Tables    []string         `json:"tables,omitempty"`
 	Intervals []stats.Interval `json:"intervals,omitempty"`
 	Lineage   string           `json:"lineage,omitempty"`
+	// Node is the cluster node ID that originally simulated the result
+	// (empty for records written before clustering or with it disabled).
+	// It rides the payload so provenance survives peer replication and
+	// restarts; absent in old records, which decode fine.
+	Node string `json:"node,omitempty"`
 }
 
 // Hooks intercept store writes for deterministic fault injection (the

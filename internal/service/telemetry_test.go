@@ -108,6 +108,18 @@ func TestMetricsLint(t *testing.T) {
 		"# TYPE hvcd_store_corruptions_total counter",
 		"# TYPE hvcd_store_records gauge",
 		"# TYPE hvcd_store_bytes gauge",
+		"# TYPE hvcd_peer_fetches_total counter",
+		"# TYPE hvcd_peer_hits_total counter",
+		"# TYPE hvcd_peer_misses_total counter",
+		"# TYPE hvcd_peer_errors_total counter",
+		"# TYPE hvcd_peer_skipped_total counter",
+		"# TYPE hvcd_peer_replicated_total counter",
+		"# TYPE hvcd_peer_replicate_errors_total counter",
+		"# TYPE hvcd_peer_served_total counter",
+		"# TYPE hvcd_peer_accepted_total counter",
+		"# TYPE hvcd_cluster_nodes gauge",
+		"# TYPE hvcd_cluster_peers_healthy gauge",
+		"# TYPE hvcd_node_info gauge",
 	} {
 		if !bytes.Contains(body, []byte(family)) {
 			t.Errorf("exposition missing %q", family)
@@ -137,6 +149,17 @@ func TestMetricsLint(t *testing.T) {
 	}
 	if v := promValue(t, body2, "hvcd_store_records"); v != 0 {
 		t.Errorf("store-less hvcd_store_records = %v, want 0", v)
+	}
+	// Same stability for the cluster families: a single-node daemon
+	// exposes them zero-valued, with the default node identity stamped.
+	if v := promValue(t, body2, "hvcd_cluster_nodes"); v != 0 {
+		t.Errorf("single-node hvcd_cluster_nodes = %v, want 0", v)
+	}
+	if v := promValue(t, body2, "hvcd_peer_fetches_total"); v != 0 {
+		t.Errorf("single-node hvcd_peer_fetches_total = %v, want 0", v)
+	}
+	if v := promValue(t, body2, `hvcd_node_info{node_id="hvcd"}`); v != 1 {
+		t.Errorf("single-node hvcd_node_info = %v, want 1", v)
 	}
 }
 
